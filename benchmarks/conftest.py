@@ -1,0 +1,22 @@
+"""Benchmark-harness helpers.
+
+Each bench regenerates one table or figure of the paper and prints the
+measured rows next to the paper's published values.  Flow results are
+cached per session (see :mod:`repro.experiments.runner`), so benches that
+share layouts (Tables 4/5/13/16, Fig. 3/8, ...) only pay once.
+"""
+
+from __future__ import annotations
+
+from repro.flow.reports import format_table
+
+
+def report(benchmark_obj, title: str, measured, reference) -> None:
+    """Attach paper-vs-measured info to the benchmark and print it."""
+    text = format_table(measured, f"{title} — measured")
+    ref = format_table(reference, f"{title} — paper")
+    print()
+    print(text)
+    print()
+    print(ref)
+    benchmark_obj.extra_info["rows"] = len(measured)

@@ -1,0 +1,30 @@
+"""Bench (extension): 2D vs G-MI vs T-MI integration styles.
+
+Not a paper table — the head-to-head the paper's introduction sets up
+(Section 1 defines both monolithic styles; Table 5's prior works are
+G-MI-like).
+"""
+
+from repro.experiments import ext_integration_styles as exp
+from conftest import report
+
+
+def _pct(value: str) -> float:
+    return float(value.rstrip("%"))
+
+
+def test_ext_integration_styles(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Extension: integration styles (AES, 45nm)",
+           rows, exp.reference())
+    by_style = {r["style"]: r for r in rows}
+    # Footprint: T-MI < G-MI < 2D, with G-MI near the ~30 % the paper
+    # quotes for [2] and T-MI near its own ~40 %.
+    gmi = _pct(by_style["G-MI"]["footprint vs 2D"])
+    tmi = _pct(by_style["T-MI"]["footprint vs 2D"])
+    assert -45.0 < gmi < -18.0
+    assert tmi < gmi
+    # Both 3D styles cut wirelength; T-MI cuts at least as much.
+    assert _pct(by_style["G-MI"]["WL vs 2D"]) < 0.0
+    assert _pct(by_style["T-MI"]["WL vs 2D"]) <= \
+        _pct(by_style["G-MI"]["WL vs 2D"]) + 3.0

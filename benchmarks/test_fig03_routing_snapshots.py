@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 3 (LDPC vs DES routing character)."""
+
+from repro.experiments import fig03_routing_snapshots as exp
+from conftest import report
+
+
+def test_fig03_routing_snapshots(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Fig. 3: routing snapshots", rows, exp.reference())
+    print()
+    print("LDPC local-layer congestion map:")
+    print(exp.density_ascii("ldpc"))
+    # LDPC's wire density exceeds DES's (the figure's visual point; the
+    # paper's full-scale contrast is larger than our scaled one).
+    assert exp.wirelength_contrast() > 1.2

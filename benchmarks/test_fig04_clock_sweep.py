@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 4 (power reduction vs target clock period)."""
+
+from repro.experiments import fig04_clock_sweep as exp
+from conftest import report
+
+
+def test_fig04_clock_sweep(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Fig. 4: power reduction vs clock",
+           rows, exp.reference())
+    # Faster clock -> larger (or equal) benefit, per the paper's trend.
+    assert exp.trend_is_monotone(rows, "AES")

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 5 (T-MI cell layout statistics)."""
+
+from repro.experiments import fig05_cell_layouts as exp
+from conftest import report
+
+
+def test_fig05_cell_layouts(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Fig. 5: folded T-MI cells", rows, exp.reference())
+    by_cell = {r["cell"]: r for r in rows}
+    assert by_cell["INV"]["#transistors"] == 2
+    assert by_cell["DFF"]["#transistors"] == 24
+    for row in rows:
+        assert row["#MIVs"] >= 1
+        assert row["#direct S/D contacts"] >= 1
+        assert row["bottom-tier wire (um)"] > 0.0
+    assert exp.total_library_cells() == 66

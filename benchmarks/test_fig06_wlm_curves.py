@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 6 (fanout vs wirelength WLM curves)."""
+
+from repro.experiments import fig06_wlm_curves as exp
+from conftest import report
+
+
+def test_fig06_wlm_curves(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Fig. 6: WLM fanout -> wirelength", rows,
+           exp.reference())
+    for row in rows:
+        lengths = [v for k, v in row.items() if k.startswith("wl@")]
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 7 / S5 (MIV & MB1 blockage impact)."""
+
+from repro.experiments import fig07_blockage_impact as exp
+from conftest import report
+
+
+def test_fig07_blockage_impact(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Fig. 7: MIV/MB1 blockage impact (AES 3D)",
+           rows, exp.reference())
+    row = rows[0]
+    # S5's conclusion: the blockages do not degrade quality noticeably.
+    assert abs(row["WL delta (%)"]) < 8.0
+    assert abs(row["power delta (%)"]) < 8.0
+    assert row["blockage area share (%)"] < 10.0

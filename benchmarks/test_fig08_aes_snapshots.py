@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 8 (AES placement/routing snapshot sizes)."""
+
+from repro.experiments import fig08_aes_snapshots as exp
+from conftest import report
+
+
+def test_fig08_aes_snapshots(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Fig. 8: AES core dimensions", rows,
+           exp.reference())
+    # Paper: 170.5 um -> 127.7 um, a ~25 % linear shrink.
+    shrink = exp.linear_shrink_percent(rows)
+    assert 17.0 < shrink < 33.0

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 10 (layer usage, LDPC vs M256 at 7 nm)."""
+
+from repro.experiments import fig10_layer_usage as exp
+from conftest import report
+
+
+def test_fig10_layer_usage(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Fig. 10: per-class wirelength (7nm, T-MI)",
+           rows, exp.reference())
+    for row in rows:
+        assert row["local WL (um)"] > 0.0
+        # MB1 carries a sliver of routing (paper: ~0.3 %).
+        assert row["MB1 share (%)"] < 3.0
+    assert exp.ldpc_uses_more_global(rows)

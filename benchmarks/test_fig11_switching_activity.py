@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 11 (power vs switching activity)."""
+
+from repro.experiments import fig11_switching_activity as exp
+from conftest import report
+
+
+def test_fig11_switching_activity(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Fig. 11: switching-activity sweep (M256)",
+           rows, exp.reference())
+    assert exp.power_increases_with_activity(rows)
+    assert exp.reduction_rate_stable(rows)

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 1 (cell-internal parasitic RC)."""
+
+from repro.experiments import table01_cell_rc as exp
+from conftest import report
+
+
+def test_table01_cell_rc(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 1: cell internal parasitic RC",
+           rows, exp.reference())
+    by_cell = {r["cell"]: r for r in rows}
+    # Headline shape: simple cells lose R in 3D, the DFF gains R and C.
+    assert by_cell["INV"]["R 3D"] < by_cell["INV"]["R 2D (kohm)"]
+    assert by_cell["DFF"]["R 3D"] > by_cell["DFF"]["R 2D (kohm)"]
+    assert by_cell["DFF"]["C 3D"] > by_cell["DFF"]["C 2D (fF)"]

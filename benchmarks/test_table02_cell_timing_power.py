@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 2 (cell delay/power, MNA characterization)."""
+
+from repro.experiments import table02_cell_timing_power as exp
+from conftest import report
+
+
+def test_table02_cell_timing_power(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 2: cell delay and internal power",
+           rows, exp.reference())
+    # 3D cells stay within ~15 % of 2D; the DFF is the one that worsens.
+    for row in rows:
+        assert 80.0 < row["delay ratio (%)"] < 120.0
+    dff = [r for r in rows if r["cell"] == "DFF"]
+    assert all(r["delay ratio (%)"] > 100.0 for r in dff)

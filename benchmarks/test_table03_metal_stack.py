@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 3 (metal layer summary) and Fig. 9 stacks."""
+
+from repro.experiments import table03_metal_stack as exp
+from conftest import report
+
+
+def test_table03_metal_stack(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 3: metal layers", rows, exp.reference())
+    ref = {r["level"]: r for r in exp.reference()}
+    for row in rows:
+        expect = ref[row["level"]]
+        assert row["width_nm" if "width_nm" in row else "width (nm)"] == \
+            expect["width (nm)"]
+        assert row["3D layers"] == expect["3D layers"]
+    diagrams = exp.stack_diagrams()
+    assert diagrams["T-MI"][0] == "MB1"
+    assert len(diagrams["T-MI+M"]) == 13

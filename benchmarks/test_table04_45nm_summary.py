@@ -1,0 +1,26 @@
+"""Bench: regenerate Table 4 (45 nm iso-performance power summary)."""
+
+from repro.experiments import table04_45nm_summary as exp
+from conftest import report
+
+
+def _pct(value: str) -> float:
+    return float(value.rstrip("%"))
+
+
+def test_table04_45nm_summary(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 4: 45nm T-MI vs 2D (% difference)",
+           rows, exp.reference())
+    by_circuit = {r["circuit"]: r for r in rows}
+    # Footprint reduction ~40-50 % for every circuit (paper: 40.9-43.4).
+    for row in rows:
+        assert -55.0 < _pct(row["footprint"]) < -35.0
+        assert _pct(row["wirelen."]) < -15.0
+    # LDPC shows the largest total power reduction, DES among the smallest
+    # (the Section 4.3 contrast).
+    totals = {c: _pct(r["total power"]) for c, r in by_circuit.items()}
+    assert totals["LDPC"] == min(totals.values())
+    assert totals["LDPC"] < -20.0
+    assert totals["DES"] < 0.0
+    assert totals["AES"] < -5.0

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 6 (45 nm vs 7 nm setup)."""
+
+from repro.experiments import table06_node_setup as exp
+from conftest import report
+
+
+def test_table06_node_setup(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 6: node setup", rows, exp.reference())
+    measured = {r["parameter"]: r for r in rows}
+    for ref in exp.reference():
+        row = measured[ref["parameter"]]
+        for col in ("45nm", "7nm"):
+            if isinstance(ref[col], (int, float)):
+                assert abs(float(row[col]) - float(ref[col])) \
+                    <= abs(float(ref[col])) * 0.02 + 1e-9
+            else:
+                assert str(ref[col]) in str(row[col]) \
+                    or str(row[col]) in str(ref[col])

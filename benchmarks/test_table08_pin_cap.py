@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 8 (pin-cap reduction study, DES at 7 nm)."""
+
+from repro.experiments import table08_pin_cap as exp
+from conftest import report
+
+
+def test_table08_pin_cap(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 8: reduced pin cap (DES, 7nm)",
+           rows, exp.reference())
+    # Total power falls as pin caps shrink (end-to-end trend; individual
+    # steps carry re-closure noise)...
+    totals = [r["total 2D (mW)"] for r in rows]
+    assert totals[-1] < totals[0]
+    # ...but the T-MI benefit does NOT grow (the paper's surprise).
+    assert exp.benefit_does_not_grow(rows)

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 9 (lower metal resistivity, M256 at 7 nm)."""
+
+from repro.experiments import table09_metal_resistivity as exp
+from conftest import report
+
+
+def test_table09_metal_resistivity(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 9: 50% lower local/intermediate resistivity",
+           rows, exp.reference())
+    # Lower resistivity lowers power for both styles...
+    assert rows[1]["total 2D (mW)"] <= rows[0]["total 2D (mW)"] * 1.02
+    # ...and does not collapse the T-MI reduction rate.
+    assert exp.reduction_rate_holds(rows)

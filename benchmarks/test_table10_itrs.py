@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 10 (ITRS projections)."""
+
+from repro.experiments import table10_itrs as exp
+from conftest import report
+
+
+def test_table10_itrs(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 10: ITRS projections", rows, exp.reference())
+    measured = {r["node"]: r for r in rows}
+    for ref in exp.reference():
+        row = measured[ref["node"]]
+        assert row["NMOS drive (uA/um)"] == ref["NMOS drive (uA/um)"]
+        assert row["Cu eff. resistivity (uohm-cm)"] == \
+            ref["Cu eff. resistivity (uohm-cm)"]

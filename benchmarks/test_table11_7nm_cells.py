@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 11 (7 nm cell characterization)."""
+
+from repro.experiments import table11_7nm_cells as exp
+from conftest import report
+
+
+def test_table11_7nm_cells(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 11: 45nm vs 7nm cell characterization",
+           rows, exp.reference())
+    by_key = {(r["cell"], r["node"]): r for r in rows}
+    for cell in ("INV", "NAND2", "DFF"):
+        r45 = by_key[(cell, "45nm")]
+        r7 = by_key[(cell, "7nm")]
+        # 7 nm cells: lower input cap, faster, far lower dynamic energy.
+        assert r7["input cap (fF)"] < r45["input cap (fF)"] * 0.6
+        assert r7["delay (ps)"] < r45["delay (ps)"]
+        assert r7["cell power (fJ)"] < r45["cell power (fJ)"] * 0.6

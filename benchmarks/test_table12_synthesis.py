@@ -1,0 +1,25 @@
+"""Bench: regenerate Table 12 (benchmarks and synthesis results)."""
+
+from repro.experiments import table12_synthesis as exp
+from conftest import report
+
+
+def test_table12_synthesis(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 12: benchmark circuits (scaled)",
+           rows, exp.reference())
+    by_circuit = {r["circuit"]: r for r in rows}
+    # Size ordering matches the paper: FPU < AES < LDPC < DES at equal
+    # scale, and M256 is the largest per unit scale.
+    assert by_circuit["LDPC"]["#cells"] > by_circuit["AES"]["#cells"] * 0.5
+    for row in rows:
+        assert 1.4 < row["avg fanout"] < 3.2
+
+
+def test_table12_full_scale_counts(benchmark):
+    rows = benchmark.pedantic(exp.full_scale_cell_counts,
+                              rounds=1, iterations=1)
+    report(benchmark, "Table 12: full-scale generator sizes", rows, [])
+    for row in rows:
+        ratio = row["#cells (generated)"] / row["#cells (paper)"]
+        assert 0.5 < ratio < 1.6

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 14 (detailed 7 nm layout results)."""
+
+from repro.experiments import table14_7nm_detail as exp
+from conftest import report
+
+
+def test_table14_7nm_detail(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 14: detailed 7nm layout results",
+           rows, exp.reference())
+    for row in rows:
+        assert row["WNS (ps)"] >= -60.0
+        assert row["total power (mW)"] > 0.0
+    # 7 nm designs are far smaller and lower power than 45 nm.
+    assert max(r["footprint (um2)"] for r in rows) < 100000

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 15 (impact of the T-MI wire load model)."""
+
+from repro.experiments import table15_wlm_impact as exp
+from conftest import report
+
+
+def test_table15_wlm_impact(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 15: with vs without the T-MI WLM",
+           rows, exp.reference())
+    # Dropping the T-MI WLM never helps much, and the harm stays bounded
+    # (paper: -0.3 % .. +10.1 %).
+    for row in rows:
+        assert row["power delta (%)"] > -8.0
+        assert row["power delta (%)"] < 20.0

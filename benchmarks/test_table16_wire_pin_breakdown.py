@@ -1,0 +1,31 @@
+"""Bench: regenerate Table 16 (wire vs pin cap/power breakdown)."""
+
+from repro.experiments import table16_wire_pin_breakdown as exp
+from conftest import report
+
+
+def test_table16_wire_pin_breakdown(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 16: wire vs pin breakdown (LDPC vs DES)",
+           rows, exp.reference())
+    contrast = exp.dominance_contrast(rows)
+    # LDPC is much more wire-dominated than DES — the Section 4.3 driver
+    # of the power-benefit difference.
+    assert contrast["LDPC-2D"] > contrast["DES-2D"] * 1.5
+    by_design = {r["design"]: r for r in rows}
+    # T-MI cuts wire *capacitance*; pin capacitance only moves through
+    # buffer-count changes (Section 4.3's mechanism).
+    wire_cap_cut = 1.0 - (by_design["LDPC-3D"]["wire cap (pF)"]
+                          / by_design["LDPC-2D"]["wire cap (pF)"])
+    assert wire_cap_cut > 0.10
+    # And the wire-dominated circuit converts it into a larger net-power
+    # cut than the pin-dominated one.
+    ldpc_cut = 1.0 - ((by_design["LDPC-3D"]["wire power (mW)"]
+                       + by_design["LDPC-3D"]["pin power (mW)"])
+                      / (by_design["LDPC-2D"]["wire power (mW)"]
+                         + by_design["LDPC-2D"]["pin power (mW)"]))
+    des_cut = 1.0 - ((by_design["DES-3D"]["wire power (mW)"]
+                      + by_design["DES-3D"]["pin power (mW)"])
+                     / (by_design["DES-2D"]["wire power (mW)"]
+                        + by_design["DES-2D"]["pin power (mW)"]))
+    assert ldpc_cut > des_cut

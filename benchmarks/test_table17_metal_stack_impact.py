@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 17 (T-MI+M modified metal stack)."""
+
+from repro.experiments import table17_metal_stack_impact as exp
+from conftest import report
+
+
+def test_table17_metal_stack_impact(benchmark):
+    rows = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    report(benchmark, "Table 17: T-MI+M modified stack (7nm)",
+           rows, exp.reference())
+    # The stack swap is a second-order effect: small deltas either way
+    # (paper: -2.4 % / -2.8 % power, +/-1.6 % wirelength).
+    for row in rows:
+        assert abs(row["power delta (%)"]) < 12.0

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Running the flow stages by hand on a user-defined circuit.
+
+Shows the public API a downstream user would drive for their own netlist:
+build a gate-level module with CircuitBuilder, then step through
+synthesis, placement, optimization, clock-tree synthesis, routing, STA,
+and power analysis — the stages run_flow() chains for the paper's
+benchmarks (Fig. 1 of the paper).
+
+Run:  python examples/custom_circuit_flow.py
+"""
+
+import random
+
+from repro.circuits.generators.common import CircuitBuilder
+from repro.flow.design_flow import library_for
+from repro.opt.cts import synthesize_clock_tree
+from repro.opt.optimizer import Optimizer
+from repro.place.placer import Placer
+from repro.power.analysis import analyze_power
+from repro.route.router import GlobalRouter
+from repro.synth.synthesis import Synthesizer
+from repro.synth.wlm import WireLoadModel
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import build_stack_tmi
+from repro.timing.netmodel import PlacedNetModel, RoutedNetModel
+from repro.timing.sta import TimingAnalyzer
+
+
+def build_toy_accumulator(width: int = 32) -> "Module":
+    """A registered adder/accumulator with a random control block."""
+    b = CircuitBuilder(f"accum{width}")
+    rng = random.Random(7)
+    data = b.register_bus(b.inputs("d", width))
+    state = b.register_bus(b.inputs("s", width))
+    sums, carry = b.carry_skip_adder(data, state, group=8)
+    control = b.random_logic(sums[:8], 4, 120, rng)
+    gated = [b.gate("AND2", [s, control[i % 4]])
+             for i, s in enumerate(sums)]
+    for q in b.register_bus(gated):
+        b.output(q)
+    if carry is not None:
+        b.output(b.dff(carry))
+    return b.finish()
+
+
+def main() -> None:
+    library = library_for("45nm", True)          # T-MI style
+    interconnect = InterconnectModel(build_stack_tmi(library.node))
+    module = build_toy_accumulator()
+    print(f"netlist: {module.n_cells} cells, {module.n_nets} nets")
+
+    # Synthesis against a wire load model.
+    area = sum(library.cell(i.cell_name).area_um2
+               for i in module.instances)
+    wlm = WireLoadModel.estimate("accum", area, 0.8, interconnect,
+                                 is_3d=True)
+    synth = Synthesizer(library, wlm).run(module)
+    print(f"synthesis: clock {synth.clock_ns:.2f} ns, "
+          f"{synth.n_buffers_added} fanout buffers")
+
+    # Placement.
+    placement = Placer(library, target_utilization=0.8).run(module)
+    fp = placement.floorplan
+    print(f"placement: core {fp.width_um:.1f} x {fp.height_um:.1f} um, "
+          f"HPWL {placement.hpwl_um:.0f} um")
+
+    # Optimization + CTS.
+    net_model = PlacedNetModel(module, interconnect,
+                               io_positions=fp.io_positions)
+    optimizer = Optimizer(library, interconnect, fp, synth.clock_ns)
+    opt = optimizer.run(module, net_model)
+    cts = synthesize_clock_tree(module, library, fp)
+    print(f"optimization: WNS {opt.wns_ps:+.0f} ps, "
+          f"{opt.n_buffers_added} buffers, {opt.n_upsized} upsized, "
+          f"{opt.n_downsized} downsized; CTS {cts.n_buffers} clock "
+          f"buffers over {cts.n_sinks} flops")
+
+    # Routing and sign-off.
+    routing = GlobalRouter(library, interconnect, fp).run(module)
+    routed = RoutedNetModel(routing.lengths_um, routing.resistances_kohm,
+                            routing.capacitances_ff)
+    report = TimingAnalyzer(module, library, routed,
+                            synth.clock_ns).run()
+    power = analyze_power(module, library, routed, synth.clock_ns)
+    print(f"routing: {routing.total_wirelength_um:.0f} um of wire, "
+          f"detour {routing.detour_factor:.2f}")
+    print(f"sign-off: WNS {report.wns_ps:+.0f} ps; "
+          f"power {power.total_mw:.3f} mW "
+          f"(cell {power.cell_mw:.3f} / net {power.net_mw:.3f} / "
+          f"leak {power.leakage_mw:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Projecting the T-MI benefit to the 7 nm node (paper Sections 5-6).
+
+Runs the same iso-performance comparison at 45 nm and 7 nm and shows how
+the interconnect landscape shifts: local wires become ~180x more resistive
+per um while devices get faster, changing which circuits gain and which
+lose benefit at the future node.
+
+Run:  python examples/future_node_projection.py
+"""
+
+from repro.flow.compare import run_iso_performance_comparison
+from repro.flow.reports import format_table
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import build_stack_2d
+from repro.tech.node import NODE_45NM, NODE_7NM
+
+CIRCUITS = {"aes": 0.15, "ldpc": 0.1}
+
+
+def interconnect_shift() -> None:
+    rows = []
+    for node in (NODE_45NM, NODE_7NM):
+        model = InterconnectModel(build_stack_2d(node))
+        m2 = model.wire_rc("M2")
+        m8 = model.wire_rc("M8")
+        rows.append({
+            "node": node.name,
+            "M2 R (ohm/um)": round(m2.resistance_ohm_per_um, 2),
+            "M2 C (fF/um)": round(m2.capacitance_ff_per_um, 3),
+            "M8 R (ohm/um)": round(m8.resistance_ohm_per_um, 3),
+            "VDD (V)": node.vdd,
+            "cell height (um)": node.cell_height_um,
+        })
+    print(format_table(rows, "Interconnect landscape (paper Section 5):"))
+
+
+def node_comparison() -> None:
+    rows = []
+    for circuit, scale in CIRCUITS.items():
+        for node_name in ("45nm", "7nm"):
+            cmp = run_iso_performance_comparison(circuit,
+                                                 node_name=node_name,
+                                                 scale=scale)
+            rows.append({
+                "circuit": circuit.upper(),
+                "node": node_name,
+                "clock (ns)": round(cmp.clock_ns, 2),
+                "footprint": f"{cmp.diff('footprint_um2'):+.1f}%",
+                "wirelength": f"{cmp.diff('total_wirelength_um'):+.1f}%",
+                "total power": f"{cmp.power_diff('total_mw'):+.1f}%",
+            })
+    print()
+    print(format_table(rows,
+                       "T-MI vs 2D across nodes (paper Tables 4 and 7):"))
+
+
+if __name__ == "__main__":
+    interconnect_shift()
+    node_comparison()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Why LDPC gains 30 %+ from monolithic 3D and DES only ~4 %.
+
+Reproduces the paper's Section 4.3 circuit-characteristics study: the two
+benchmarks are similar in size and average fanout, but LDPC's net power is
+wire-capacitance dominated (long random bipartite wiring) while DES's is
+pin-capacitance dominated (tight S-box clusters) — so only LDPC converts
+T-MI's shorter wires into a large power win.
+
+Run:  python examples/ldpc_vs_des_power_study.py
+"""
+
+from repro.experiments.runner import DEFAULT_SCALES
+from repro.flow.compare import run_iso_performance_comparison
+from repro.flow.reports import format_table
+
+# Same scales the benchmark suite uses (see EXPERIMENTS.md).
+SCALES = {"ldpc": DEFAULT_SCALES["ldpc"], "des": DEFAULT_SCALES["des"]}
+
+
+def main() -> None:
+    rows = []
+    breakdown = []
+    for circuit, scale in SCALES.items():
+        cmp = run_iso_performance_comparison(circuit, scale=scale)
+        rows.append(cmp.summary_row())
+        for result in (cmp.result_2d, cmp.result_3d):
+            p = result.power
+            breakdown.append({
+                "design": f"{circuit.upper()}-{result.config.style()}",
+                "wire cap (pF)": round(p.wire_cap_pf, 2),
+                "pin cap (pF)": round(p.pin_cap_pf, 2),
+                "wire power (mW)": round(p.net_wire_mw, 3),
+                "pin power (mW)": round(p.net_pin_mw, 3),
+                "#buffers": result.n_buffers,
+            })
+    print(format_table(rows, "T-MI vs 2D summary (paper Table 4 rows):"))
+    print()
+    print(format_table(breakdown,
+                       "Wire vs pin breakdown (paper Table 16):"))
+    print()
+    ldpc_2d = next(b for b in breakdown if b["design"] == "LDPC-2D")
+    des_2d = next(b for b in breakdown if b["design"] == "DES-2D")
+    print("Conclusion: LDPC's wire/pin cap ratio is "
+          f"{ldpc_2d['wire cap (pF)'] / ldpc_2d['pin cap (pF)']:.1f} vs "
+          f"DES's {des_2d['wire cap (pF)'] / des_2d['pin cap (pF)']:.1f} — "
+          "shorter wires only buy power where wires carry the capacitance.")
+
+
+if __name__ == "__main__":
+    main()

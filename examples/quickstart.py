@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: fold a cell, inspect its parasitics, run one comparison.
+
+Walks the three levels of the library in ~a minute:
+
+1. cell level      — build the 2D inverter, fold it to T-MI, extract RC;
+2. library level   — characterized delay/power of 2D vs T-MI cells;
+3. full-chip level — an iso-performance 2D vs T-MI layout comparison
+                     (the paper's core experiment) on a small AES.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cells.netlist import build_cell_netlist
+from repro.cells.geometry import build_cell_geometry_2d
+from repro.cells.folding import fold_cell_geometry
+from repro.extraction.rc import ExtractionMode, extract_cell
+from repro.flow.compare import run_iso_performance_comparison
+from repro.flow.design_flow import library_for
+from repro.flow.reports import format_table
+from repro.tech.node import NODE_45NM
+
+
+def cell_level() -> None:
+    print("=" * 70)
+    print("1. Cell level: folding the 45nm inverter (paper Fig. 2)")
+    print("=" * 70)
+    netlist = build_cell_netlist("INV", 1.0, NODE_45NM)
+    flat = build_cell_geometry_2d(netlist, NODE_45NM)
+    folded = fold_cell_geometry(netlist, NODE_45NM)
+    print(f"2D cell:   {flat.width_um:.2f} x {flat.height_um:.2f} um")
+    print(f"T-MI cell: {folded.width_um:.2f} x {folded.height_um:.2f} um "
+          f"({folded.footprint_um2 / flat.footprint_um2 * 100:.0f}% of the "
+          f"2D footprint), {folded.miv_count} MIVs")
+    p2 = extract_cell(flat, ExtractionMode.FLAT)
+    p3 = extract_cell(folded, ExtractionMode.DIELECTRIC)
+    print(f"internal R: {p2.total_r_kohm * 1e3:.0f} ohm (2D) -> "
+          f"{p3.total_r_kohm * 1e3:.0f} ohm (3D)")
+    print(f"internal C: {p2.total_c_ff:.3f} fF (2D) -> "
+          f"{p3.total_c_ff:.3f} fF (3D)")
+
+
+def library_level() -> None:
+    print()
+    print("=" * 70)
+    print("2. Library level: characterized 2D vs T-MI cells (paper Table 2)")
+    print("=" * 70)
+    lib2 = library_for("45nm", False)
+    lib3 = library_for("45nm", True)
+    rows = []
+    for name in ("INV_X1", "NAND2_X1", "MUX2_X1", "DFF_X1"):
+        c2, c3 = lib2.cell(name), lib3.cell(name)
+        rows.append({
+            "cell": name,
+            "delay 2D (ps)": round(c2.delay_ps(37.5, 3.2), 1),
+            "delay 3D (ps)": round(c3.delay_ps(37.5, 3.2), 1),
+            "energy 2D (fJ)": round(c2.internal_energy_fj(37.5, 3.2), 3),
+            "energy 3D (fJ)": round(c3.internal_energy_fj(37.5, 3.2), 3),
+        })
+    print(format_table(rows))
+
+
+def chip_level() -> None:
+    print()
+    print("=" * 70)
+    print("3. Full chip: iso-performance 2D vs T-MI AES (paper Table 4)")
+    print("=" * 70)
+    cmp = run_iso_performance_comparison("aes", scale=0.1)
+    print(f"shared clock: {cmp.clock_ns:.2f} ns "
+          f"(WNS 2D {cmp.result_2d.wns_ps:+.0f} ps, "
+          f"T-MI {cmp.result_3d.wns_ps:+.0f} ps)")
+    print(format_table(cmp.detail_rows()))
+    print()
+    print(format_table([cmp.summary_row()], "T-MI vs 2D (% difference):"))
+
+
+if __name__ == "__main__":
+    cell_level()
+    library_level()
+    chip_level()

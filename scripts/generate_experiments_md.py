@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every table/figure.
+
+Runs every experiment driver (sharing cached flow runs) and writes the
+results next to the paper's published values, with the commentary blocks
+maintained in this script.
+
+Usage:  python scripts/generate_experiments_md.py [output-path]
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+from typing import List
+
+from repro.experiments.runner import DEFAULT_SCALES
+from repro.flow.reports import format_table
+
+# (section id, title, driver module, commentary)
+SECTIONS = [
+    ("Table 1", "Cell-internal parasitic RC (2D / 3D / 3D-c)",
+     "table01_cell_rc",
+     "Shape reproduced: simple cells (INV, NAND2, MUX2) lose internal "
+     "resistance when folded; the wiring-dense DFF gains both R and C. "
+     "Measured R ratios land within a few percent of the paper's; "
+     "absolute C runs slightly high for MUX2/DFF (our parametric layouts "
+     "route more internal wire than hand-crafted cells)."),
+    ("Table 2", "Cell delay and internal power (MNA characterization)",
+     "table02_cell_timing_power",
+     "The paper's central cell-level claim holds: 3D cell delay/power sit "
+     "within a few percent of 2D, the DFF being the one that worsens "
+     "(paper: 104.2 % delay at the fast corner; see the ratio columns)."),
+    ("Table 3", "Metal layer summary", "table03_metal_stack",
+     "Exact reproduction: the Table 3 dimensions are inputs."),
+    ("Table 4", "45 nm iso-performance summary (% T-MI over 2D)",
+     "table04_45nm_summary",
+     "Footprint (-40..-48 % vs paper's -40.9..-43.4 %) and wirelength "
+     "(-20..-28 % vs -21.5..-33.6 %) reproduce well. Power: LDPC's "
+     "headline reduction and DES's near-zero benefit reproduce almost "
+     "exactly; AES sits close; FPU/M256 under-express the benefit at "
+     "bench scales (their nets become pin-cap-dominated in small cores "
+     "and our 2x sizing grid cannot express the few-percent drive "
+     "differences iso-performance closure creates - documented "
+     "deviation)."),
+    ("Table 5", "Comparison with prior works", "table05_prior_work",
+     "Published prior-work rows quoted verbatim; our rows measured. The "
+     "cross-work pattern reproduces: every work agrees DES gains little "
+     "(2-7 %), and our LDPC reduction exceeds the prior works' as the "
+     "paper's does."),
+    ("Fig. 3", "Routing snapshots: LDPC vs DES",
+     "fig03_routing_snapshots",
+     "LDPC's wire density per core area far exceeds DES's - the paper's "
+     "visual contrast, quantified."),
+    ("Fig. 4", "Power reduction vs target clock", "fig04_clock_sweep",
+     "Monotone trend reproduced: tighter clocks raise the T-MI benefit."),
+    ("Table 6", "45 nm vs 7 nm node setup", "table06_node_setup",
+     "Exact reproduction (inputs)."),
+    ("Table 7", "7 nm iso-performance summary", "table07_7nm_summary",
+     "Footprint/wirelength reproduce; DES again the weakest beneficiary. "
+     "LDPC keeps a large benefit at our scales (the paper's 32->19 % "
+     "shrink is directionally visible but softer here - our scaled LDPC "
+     "has proportionally fewer of the cross-core nets that the resistive "
+     "7 nm local layers punish)."),
+    ("Table 8", "Reduced pin cap (DES, 7 nm)", "table08_pin_cap",
+     "The paper's counter-intuitive result reproduces: shrinking pin caps "
+     "lowers total power but does NOT grow the T-MI reduction rate."),
+    ("Table 9", "Lower metal resistivity (M256, 7 nm)",
+     "table09_metal_resistivity",
+     "Reproduced: halving local/intermediate resistivity lowers power for "
+     "both styles while the reduction rate holds (paper: 17.8 % both)."),
+    ("Table 10", "ITRS projections", "table10_itrs",
+     "Exact reproduction (inputs)."),
+    ("Table 11", "7 nm cell characterization", "table11_7nm_cells",
+     "Scaling direction reproduced everywhere: much lower input cap, "
+     "faster cells, dramatically lower dynamic energy, mildly lower "
+     "leakage."),
+    ("Table 12", "Benchmarks and synthesis results", "table12_synthesis",
+     "Generators approximate the paper's netlists; at scale=1.0 the cell "
+     "counts land within ~45 % of Table 12's (see the full-scale rows in "
+     "the bench). Average fanout in the paper's 2.2-2.6 band."),
+    ("Table 13", "Detailed 45 nm layout results", "table13_45nm_detail",
+     "All designs timing-closed (iso-performance); the buffer-count "
+     "mechanism reproduces (LDPC loses roughly half its buffers in T-MI, "
+     "DES almost none)."),
+    ("Table 14", "Detailed 7 nm layout results", "table14_7nm_detail",
+     "All designs timing-closed at 7 nm too."),
+    ("Table 15", "T-MI wire-load-model impact", "table15_wlm_impact",
+     "Reproduced in kind: dropping the T-MI WLM is near-neutral for the "
+     "small circuits and costs the wire-heavy ones a few percent."),
+    ("Table 16", "Wire vs pin breakdown (LDPC vs DES)",
+     "table16_wire_pin_breakdown",
+     "The Section 4.3 mechanism, reproduced: LDPC's net capacitance is "
+     "wire-dominated, DES's pin-dominated, and T-MI cuts wire power far "
+     "more than pin power."),
+    ("Table 17", "T-MI+M modified metal stack", "table17_metal_stack_impact",
+     "Second-order effect, as in the paper: small deltas either way."),
+    ("Fig. 5", "T-MI cell layouts", "fig05_cell_layouts",
+     "66-cell library; MIV counts grow with cell complexity; direct S/D "
+     "contacts used on crossing diffusion nets."),
+    ("Fig. 6", "Fanout vs wirelength WLM curves", "fig06_wlm_curves",
+     "Monotone per-circuit curves, longer for larger cores."),
+    ("Fig. 7", "MIV/MB1 blockage impact", "fig07_blockage_impact",
+     "Reproduced: the blockage area is a small share of cell area and "
+     "removing it changes quality marginally (paper: +-0.1 %)."),
+    ("Fig. 8", "AES snapshot dimensions", "fig08_aes_snapshots",
+     "The ~25 % linear core shrink of the paper's side-by-side snapshot."),
+    ("Fig. 10", "Layer usage (7 nm)", "fig10_layer_usage",
+     "All three classes carry wire; LDPC uses more global metal than "
+     "M256; MB1 carries a sliver (paper: ~0.3 %)."),
+    ("Fig. 11", "Switching-activity sweep", "fig11_switching_activity",
+     "Reproduced: power scales with activity, the reduction rate barely "
+     "moves."),
+    ("Extension", "2D vs G-MI vs T-MI integration styles",
+     "ext_integration_styles",
+     "Not a paper table: the head-to-head the introduction sets up. G-MI "
+     "(planar cells, two tiers) reaches ~-30 % footprint as the paper "
+     "quotes for [2]; T-MI goes further on footprint, wirelength and "
+     "power."),
+]
+
+HEADER = """# EXPERIMENTS — paper vs measured
+
+Generated by ``python scripts/generate_experiments_md.py``.
+
+Every table and figure of the paper (supplement included) is regenerated
+by a bench in ``benchmarks/`` backed by a driver in
+``src/repro/experiments/``; this file records the measured values next to
+the paper's published ones.
+
+**Reading guide.** Absolute values are *not* expected to match: the
+substrate is a from-scratch Python EDA flow (DESIGN.md §2 lists every
+substitution), and layout experiments run at reduced benchmark scales
+(below). The reproduction target is the paper's *shape*: signs, orderings,
+approximate factors and trends. Each section notes how well that held.
+
+Benchmark scales used for layout experiments (``scale=1.0`` = paper size):
+{scales}
+
+"""
+
+
+def main(path: str = "EXPERIMENTS.md") -> None:
+    started = time.time()
+    chunks: List[str] = []
+    scales = "\n".join(f"* {name}: scale = {value}"
+                       for name, value in sorted(DEFAULT_SCALES.items()))
+    chunks.append(HEADER.format(scales=scales))
+    for section_id, title, module_name, commentary in SECTIONS:
+        t0 = time.time()
+        module = importlib.import_module(
+            f"repro.experiments.{module_name}")
+        measured = module.run()
+        reference = module.reference()
+        chunks.append(f"## {section_id}: {title}\n\n")
+        chunks.append(commentary + "\n\n")
+        chunks.append("```\n")
+        chunks.append(format_table(measured, "measured"))
+        chunks.append("\n\n")
+        chunks.append(format_table(reference, "paper"))
+        chunks.append("\n```\n\n")
+        print(f"{section_id}: done in {time.time() - t0:.0f}s",
+              flush=True)
+    with open(path, "w") as stream:
+        stream.write("".join(chunks))
+    print(f"wrote {path} in {time.time() - started:.0f}s total")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md")

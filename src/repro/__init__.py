@@ -1,0 +1,23 @@
+"""repro: reproduction of the DAC 2013 transistor-level monolithic 3D power
+benefit study (Lee, Limbrick, Lim).
+
+The package implements the paper's entire stack in Python: technology and
+interconnect models, a 66-cell standard-cell library with T-MI folding and
+parasitic extraction, transient characterization, benchmark circuit
+generators, and a complete RTL-to-layout flow (synthesis, placement,
+routing, timing/power optimization, sign-off STA and statistical power)
+used to run every experiment in the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro.tech import NODE_45NM, NODE_7NM, get_node
+from repro.cells import build_nangate_library
+
+__all__ = [
+    "NODE_45NM",
+    "NODE_7NM",
+    "get_node",
+    "build_nangate_library",
+    "__version__",
+]

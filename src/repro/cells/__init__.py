@@ -1,0 +1,44 @@
+"""Standard-cell modeling: devices, netlists, geometry, library, 3D folding.
+
+This package is the substitute for the Nangate 45 nm Open Cell Library, the
+ASU PTM transistor models, and the Cadence Virtuoso T-MI cell design work of
+the paper.  It provides:
+
+* :mod:`~repro.cells.transistor` — alpha-power-law MOSFET models for the
+  45 nm planar and 7 nm multi-gate devices,
+* :mod:`~repro.cells.netlist` — transistor-level cell netlists built from
+  series/parallel pull-up / pull-down networks,
+* :mod:`~repro.cells.geometry` — segment-level cell layout geometry (wire
+  segments, contacts, vias, MIVs) for parasitic extraction,
+* :mod:`~repro.cells.library` — the :class:`Cell` / :class:`CellLibrary`
+  containers carrying footprint, pins, and Liberty-style tables,
+* :mod:`~repro.cells.nangate` — the 66-cell baseline library definition,
+* :mod:`~repro.cells.folding` — the 2D -> T-MI cell folding transform
+  (PMOS to the bottom tier, NMOS to the top tier, MIV insertion).
+"""
+
+from repro.cells.transistor import Device, DeviceParams, device_params_for
+from repro.cells.netlist import CellNetlist, build_cell_netlist
+from repro.cells.geometry import CellGeometry, WireSegment, ViaGroup
+from repro.cells.library import Cell, CellLibrary, Pin, PinDirection
+from repro.cells.nangate import build_nangate_library, CELL_DEFINITIONS
+from repro.cells.folding import fold_cell_geometry, fold_library
+
+__all__ = [
+    "Device",
+    "DeviceParams",
+    "device_params_for",
+    "CellNetlist",
+    "build_cell_netlist",
+    "CellGeometry",
+    "WireSegment",
+    "ViaGroup",
+    "Cell",
+    "CellLibrary",
+    "Pin",
+    "PinDirection",
+    "build_nangate_library",
+    "CELL_DEFINITIONS",
+    "fold_cell_geometry",
+    "fold_library",
+]

@@ -1,0 +1,169 @@
+"""2D -> T-MI cell folding (Section 3.1 / Fig. 2 of the paper).
+
+Folding splits a standard cell at the P/N boundary: PMOS transistors (with
+their poly, contacts, and an added bottom metal MB1) move to the bottom
+tier; NMOS transistors stay on the top tier.  Every net that connects the
+two tiers gets a monolithic inter-tier via (MIV).  Consequences the model
+reproduces:
+
+* Cell height drops from 1.4 um to 0.84 um (40 %), not 50 %, because the
+  P/N width mismatch leaves slack on the NMOS side and MIVs take top-tier
+  space (Section 3.2).
+* The long vertical poly and M1 runs between the PMOS and NMOS rows are
+  replaced by short per-tier stubs plus an MIV stack
+  (CTB - MB1 - MIV - CT - M1), so simple cells *lose* internal resistance.
+* Each tier crossing pays the via-stack overhead and MB1/M1 landing
+  detours; in wiring-dense cells (DFF) the crossings outnumber the poly
+  savings and the 3D cell ends up with *more* internal RC than 2D, exactly
+  the Table 1 behaviour.
+* Direct source/drain contacts (Fig. 5(c)) shave one contact + landing off
+  eligible crossings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cells.geometry import (
+    CellGeometry,
+    WireSegment,
+    ViaGroup,
+    assign_columns,
+    _net_column_extents,
+    POLY_PITCH_45_UM,
+    POLY_HROUTE_FRAC,
+    M1_STUB_FRAC,
+    MIN_CELL_PITCHES,
+)
+from repro.cells.netlist import CellNetlist, VDD_NET, VSS_NET
+from repro.tech.node import TechNode, NODE_45NM
+
+# Per-tier poly strip length as a fraction of the folded cell height: the
+# gate only has to cross its own tier's diffusion, with the MIV landing
+# directly on the gate (Fig. 2(b)).
+TIER_POLY_FRAC = 0.18
+# MB1 / M1 landing-pad run per MIV, in poly pitches.
+LANDING_PITCHES = 0.45
+# MIV sites available per poly column on the top tier (mid-cell strip plus
+# the cell boundary row).
+MIV_SITES_PER_COLUMN = 2.0
+# Detour growth once MIV demand exceeds available sites: extra horizontal
+# routing per crossing, in poly pitches per unit of overflow ratio.
+DETOUR_PITCHES_PER_OVERFLOW = 1.6
+# Detour multiplier on the per-tier duplicated horizontal gate routing:
+# MIV landings and the second tier's contacts block the straight path.
+H_ROUTE_DETOUR = 1.50
+
+
+def fold_cell_geometry(netlist: CellNetlist,
+                       node: TechNode = NODE_45NM) -> CellGeometry:
+    """Produce the T-MI (folded) geometry of a cell."""
+    scale = node.geometry_scale
+    pitch = POLY_PITCH_45_UM * scale
+    height = node.tmi_cell_height_um
+    gate_columns, n_cols = assign_columns(netlist)
+    width = max(n_cols + 0.5, MIN_CELL_PITCHES) * pitch
+
+    extents = _net_column_extents(netlist, gate_columns)
+    gate_nets = set(gate_columns)
+
+    # First pass: count tier crossings to size the congestion detour.
+    crossing_nets: List[str] = []
+    for net, (_, _, touches_p, touches_n) in extents.items():
+        if net in (VDD_NET, VSS_NET):
+            continue
+        if touches_p and touches_n:
+            crossing_nets.append(net)
+    miv_count = len(crossing_nets)
+    sites = max(n_cols * MIV_SITES_PER_COLUMN, 1.0)
+    overflow = max(0.0, miv_count / sites - 0.75)
+    detour_um = DETOUR_PITCHES_PER_OVERFLOW * overflow * pitch
+
+    segments: List[WireSegment] = []
+    vias: List[ViaGroup] = []
+    landing_um = LANDING_PITCHES * pitch
+
+    for net, (lo, hi, touches_p, touches_n) in extents.items():
+        if net in (VDD_NET, VSS_NET):
+            continue
+        h_span = (hi - lo) * pitch
+        crosses = touches_p and touches_n
+        if net in gate_nets:
+            n_strips = len(gate_columns[net])
+            strip_len = TIER_POLY_FRAC * height
+            if touches_p:
+                segments.append(WireSegment("PB", net, strip_len * n_strips))
+                vias.append(ViaGroup("PCB", net, n_strips))
+            if touches_n:
+                segments.append(WireSegment("P", net, strip_len * n_strips))
+                vias.append(ViaGroup("PC", net, n_strips))
+            if h_span > 0.0:
+                # Horizontal gate distribution must be replicated on every
+                # tier that has gates of this net: in 2D one poly/M1 run
+                # serves both device rows, after folding each tier needs
+                # its own.  This duplication is why wiring-dense cells
+                # (DFF) end up with *more* internal RC in 3D (Table 1).
+                h_eff = h_span * H_ROUTE_DETOUR
+                if touches_p:
+                    segments.append(
+                        WireSegment("PB", net, h_eff * POLY_HROUTE_FRAC))
+                    segments.append(
+                        WireSegment("MB1", net,
+                                    h_eff * (1.0 - POLY_HROUTE_FRAC)))
+                if touches_n:
+                    segments.append(
+                        WireSegment("P", net, h_eff * POLY_HROUTE_FRAC))
+                    segments.append(
+                        WireSegment("M1", net,
+                                    h_eff * (1.0 - POLY_HROUTE_FRAC)))
+        is_sd_net = any(net in (d.drain, d.source) for d in netlist.devices)
+        if is_sd_net:
+            n_contacts_p = sum(
+                1 for d in netlist.devices if d.is_pmos
+                for t in (d.drain, d.source) if t == net)
+            n_contacts_n = sum(
+                1 for d in netlist.devices if not d.is_pmos
+                for t in (d.drain, d.source) if t == net)
+            if n_contacts_p:
+                segments.append(WireSegment(
+                    "MB1", net, max(h_span, M1_STUB_FRAC * height)))
+                vias.append(ViaGroup("CTB", net, n_contacts_p))
+            if n_contacts_n:
+                segments.append(WireSegment(
+                    "M1", net, max(h_span, M1_STUB_FRAC * height)))
+                vias.append(ViaGroup("CT", net, n_contacts_n))
+        if crosses:
+            # The MIV stack: landing pads on both tiers plus the via, and
+            # congestion-driven detour when MIVs outnumber their sites.
+            segments.append(WireSegment("MB1", net, landing_um + detour_um))
+            segments.append(WireSegment("M1", net, landing_um + detour_um))
+            vias.append(ViaGroup("MIV", net, 1))
+            if is_sd_net:
+                # Direct S/D contact saves one landing on the top tier.
+                vias.append(ViaGroup("DSCT", net, 1))
+
+    p_area = sum(d.width_um for d in netlist.devices if d.is_pmos)
+    n_area = sum(d.width_um for d in netlist.devices if not d.is_pmos)
+    gate_len = node.drawn_length_nm / 1000.0
+    miv_area = miv_count * (2.0 * node.miv_diameter_nm / 1000.0) ** 2
+
+    return CellGeometry(
+        cell_name=netlist.cell_name,
+        node_name=node.name,
+        width_um=width,
+        height_um=height,
+        is_3d=True,
+        segments=segments,
+        vias=vias,
+        n_columns=n_cols,
+        miv_count=miv_count,
+        bottom_tier_device_area_um2=p_area * gate_len,
+        top_tier_device_area_um2=n_area * gate_len + miv_area,
+    )
+
+
+def fold_library(netlists: Dict[str, CellNetlist],
+                 node: TechNode = NODE_45NM) -> Dict[str, CellGeometry]:
+    """Fold every cell netlist of a library; returns name -> 3D geometry."""
+    return {name: fold_cell_geometry(nl, node)
+            for name, nl in netlists.items()}

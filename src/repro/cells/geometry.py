@@ -1,0 +1,253 @@
+"""Segment-level standard-cell layout geometry.
+
+The paper draws polygon layouts in Cadence Virtuoso and extracts them with
+Calibre XRC.  We model each cell's layout at the *wire-segment* level: every
+cell-internal net is a list of wire segments (layer + length) plus contact /
+via groups.  This is exactly the information parasitic extraction needs to
+reproduce Table 1, while staying parametric so the same generator covers all
+66 cells at both nodes.
+
+The 2D layout model follows standard-cell practice (and the Nangate 45 nm
+library the paper folds):
+
+* transistors sit in columns at contacted-poly pitch; PMOS row near the top
+  (VDD rail), NMOS row near the bottom (VSS rail);
+* a gate net shared by a P/N pair is one vertical poly strip spanning both
+  rows; multi-column nets get a horizontal M1 strap;
+* drain/source nets use M1: a vertical M1 run when the net connects the
+  PMOS and NMOS rows (e.g. every CMOS stage output), plus a horizontal run
+  across the columns it touches;
+* each device terminal contributes a diffusion contact, each gate pick-up a
+  poly contact.
+
+Layer name conventions match the paper's Fig. 2: ``P``/``PB`` poly (top /
+bottom tier), ``M1``/``MB1`` first metal, ``CT``/``CTB`` contacts, ``MIV``
+inter-tier vias, ``DSCT`` direct source/drain contacts (Fig. 5(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cells.netlist import CellNetlist, VDD_NET, VSS_NET
+from repro.tech.node import TechNode, NODE_45NM
+
+# Contacted poly pitch at the 45 nm node, um (Nangate).
+POLY_PITCH_45_UM = 0.19
+# Drawn poly line width at 45 nm, um.
+POLY_WIDTH_45_UM = 0.05
+# Minimum cell width in poly pitches (pin access / well ties).
+MIN_CELL_PITCHES = 2.0
+# Vertical positions of the device rows as fractions of cell height (2D).
+PMOS_ROW_FRAC = 0.72
+NMOS_ROW_FRAC = 0.25
+# Extra poly overhang beyond the row span (gate extension over diffusion).
+POLY_OVERHANG_FRAC = 0.18
+# Fraction of cell height an M1 stub runs to reach a row from mid-cell.
+M1_STUB_FRAC = 0.12
+# Fraction of a gate net's horizontal distribution routed in poly (dense
+# standard cells route gate signals horizontally in poly; the rest straps
+# over in M1).  Folding duplicates this distribution on both tiers, the
+# mechanism behind complex cells (DFF) gaining internal RC in 3D.
+POLY_HROUTE_FRAC = 0.70
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One wire piece of a cell-internal net."""
+
+    layer: str          # "P", "PB", "M1", "MB1"
+    net: str
+    length_um: float
+
+
+@dataclass(frozen=True)
+class ViaGroup:
+    """A group of identical contacts/vias on one net."""
+
+    kind: str           # "CT", "CTB", "PC" (poly contact), "MIV", "DSCT"
+    net: str
+    count: int
+
+
+@dataclass
+class CellGeometry:
+    """Layout abstraction of one cell (2D or folded T-MI)."""
+
+    cell_name: str
+    node_name: str
+    width_um: float
+    height_um: float
+    is_3d: bool
+    segments: List[WireSegment] = field(default_factory=list)
+    vias: List[ViaGroup] = field(default_factory=list)
+    n_columns: int = 0
+    miv_count: int = 0
+    # Transistor-area usage per tier, um^2 (3D balance check of Sec. 3.2).
+    bottom_tier_device_area_um2: float = 0.0
+    top_tier_device_area_um2: float = 0.0
+
+    @property
+    def footprint_um2(self) -> float:
+        return self.width_um * self.height_um
+
+    def segments_for_net(self, net: str) -> List[WireSegment]:
+        return [s for s in self.segments if s.net == net]
+
+    def vias_for_net(self, net: str) -> List[ViaGroup]:
+        return [v for v in self.vias if v.net == net]
+
+    def nets(self) -> List[str]:
+        """Nets with geometry, excluding the power rails."""
+        seen = []
+        for seg in self.segments:
+            if seg.net not in seen and seg.net not in (VDD_NET, VSS_NET):
+                seen.append(seg.net)
+        for via in self.vias:
+            if via.net not in seen and via.net not in (VDD_NET, VSS_NET):
+                seen.append(via.net)
+        return seen
+
+    def total_wire_length_um(self, layer: Optional[str] = None) -> float:
+        return sum(s.length_um for s in self.segments
+                   if layer is None or s.layer == layer)
+
+
+# ---------------------------------------------------------------------------
+# Column assignment
+# ---------------------------------------------------------------------------
+
+def assign_columns(netlist: CellNetlist) -> Tuple[Dict[str, List[int]], int]:
+    """Assign transistor columns to gate nets.
+
+    Devices sharing a gate net form P/N column pairs; a gate net needs
+    max(#PMOS, #NMOS) columns.  Returns (gate net -> column indices, total
+    column count).
+    """
+    order: List[str] = []
+    p_count: Dict[str, int] = {}
+    n_count: Dict[str, int] = {}
+    for dev in netlist.devices:
+        if dev.gate not in p_count:
+            order.append(dev.gate)
+            p_count[dev.gate] = 0
+            n_count[dev.gate] = 0
+        if dev.is_pmos:
+            p_count[dev.gate] += 1
+        else:
+            n_count[dev.gate] += 1
+    columns: Dict[str, List[int]] = {}
+    next_col = 0
+    for gate in order:
+        needed = max(p_count[gate], n_count[gate])
+        columns[gate] = list(range(next_col, next_col + needed))
+        next_col += needed
+    return columns, next_col
+
+
+def _net_column_extents(netlist: CellNetlist,
+                        gate_columns: Dict[str, List[int]]
+                        ) -> Dict[str, Tuple[int, int, bool, bool]]:
+    """Per net: (min col, max col, touches PMOS row, touches NMOS row).
+
+    A net touches a row through gates or source/drain terminals of devices
+    whose channel sits in that row.
+    """
+    extents: Dict[str, Tuple[int, int, bool, bool]] = {}
+
+    def update(net: str, col: int, pmos_side: bool) -> None:
+        lo, hi, p, n = extents.get(net, (col, col, False, False))
+        lo = min(lo, col)
+        hi = max(hi, col)
+        p = p or pmos_side
+        n = n or (not pmos_side)
+        extents[net] = (lo, hi, p, n)
+
+    # Track per-gate-net usage so parallel devices take distinct columns.
+    used: Dict[Tuple[str, bool], int] = {}
+    for dev in netlist.devices:
+        cols = gate_columns[dev.gate]
+        key = (dev.gate, dev.is_pmos)
+        idx = used.get(key, 0)
+        used[key] = idx + 1
+        col = cols[min(idx, len(cols) - 1)]
+        update(dev.gate, col, dev.is_pmos)
+        # Gate nets also "touch" the opposite row only via their poly;
+        # handled in the generator.  Drain/source land in the device's row.
+        update(dev.drain, col, dev.is_pmos)
+        update(dev.source, col, dev.is_pmos)
+    return extents
+
+
+# ---------------------------------------------------------------------------
+# 2D geometry generation
+# ---------------------------------------------------------------------------
+
+def build_cell_geometry_2d(netlist: CellNetlist,
+                           node: TechNode = NODE_45NM) -> CellGeometry:
+    """Generate the 2D layout geometry of a cell at the given node."""
+    scale = node.geometry_scale
+    pitch = POLY_PITCH_45_UM * scale
+    height = node.cell_height_um
+    gate_columns, n_cols = assign_columns(netlist)
+    width = max(n_cols + 0.5, MIN_CELL_PITCHES) * pitch
+
+    extents = _net_column_extents(netlist, gate_columns)
+    segments: List[WireSegment] = []
+    vias: List[ViaGroup] = []
+
+    row_span = (PMOS_ROW_FRAC - NMOS_ROW_FRAC) * height
+    gate_nets = set(gate_columns)
+
+    for net, (lo, hi, touches_p, touches_n) in extents.items():
+        if net in (VDD_NET, VSS_NET):
+            continue
+        h_span = (hi - lo) * pitch
+        if net in gate_nets:
+            # Vertical poly strips, one per column of this gate net.
+            n_strips = len(gate_columns[net])
+            strip_len = row_span + POLY_OVERHANG_FRAC * height
+            segments.append(WireSegment("P", net, strip_len * n_strips))
+            vias.append(ViaGroup("PC", net, n_strips))
+            if h_span > 0.0:
+                # Horizontal gate distribution: mostly poly, partly M1.
+                segments.append(
+                    WireSegment("P", net, h_span * POLY_HROUTE_FRAC))
+                segments.append(
+                    WireSegment("M1", net, h_span * (1.0 - POLY_HROUTE_FRAC)))
+        # Drain/source routing on M1.
+        terminal_rows = int(touches_p) + int(touches_n)
+        is_sd_net = any(net in (d.drain, d.source) for d in netlist.devices)
+        if is_sd_net:
+            m1_len = 0.0
+            if h_span > 0.0:
+                m1_len += h_span
+            if touches_p and touches_n:
+                # Output-style net: vertical M1 from PMOS row to NMOS row.
+                m1_len += row_span
+            else:
+                m1_len += M1_STUB_FRAC * height
+            segments.append(WireSegment("M1", net, m1_len))
+            n_contacts = sum(
+                1 for d in netlist.devices for t in (d.drain, d.source)
+                if t == net)
+            vias.append(ViaGroup("CT", net, max(n_contacts, terminal_rows)))
+
+    p_area = sum(d.width_um for d in netlist.devices if d.is_pmos)
+    n_area = sum(d.width_um for d in netlist.devices if not d.is_pmos)
+    gate_len = node.drawn_length_nm / 1000.0
+
+    return CellGeometry(
+        cell_name=netlist.cell_name,
+        node_name=node.name,
+        width_um=width,
+        height_um=height,
+        is_3d=False,
+        segments=segments,
+        vias=vias,
+        n_columns=n_cols,
+        miv_count=0,
+        bottom_tier_device_area_um2=0.0,
+        top_tier_device_area_um2=(p_area + n_area) * gate_len,
+    )

@@ -1,0 +1,167 @@
+"""Boolean behaviour of the library cell types.
+
+Used by characterization (to find sensitizing side-input values for a
+timing arc) and by power analysis (signal-probability and transition-
+density propagation via truth-table enumeration).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import LibraryError
+
+
+def _nand(*xs: bool) -> bool:
+    return not all(xs)
+
+
+def _nor(*xs: bool) -> bool:
+    return not any(xs)
+
+
+# Combinational cell functions: type -> (input pins, {output: fn(values)}).
+_FUNCTIONS: Dict[str, Tuple[List[str], Dict[str, Callable]]] = {
+    "INV": (["A"], {"ZN": lambda a: not a}),
+    "BUF": (["A"], {"Z": lambda a: a}),
+    "CLKBUF": (["A"], {"Z": lambda a: a}),
+    "TBUF": (["A", "EN"], {"Z": lambda a, en: a}),
+    "NAND2": (["A", "B"], {"ZN": _nand}),
+    "NAND3": (["A", "B", "C"], {"ZN": _nand}),
+    "NAND4": (["A", "B", "C", "D"], {"ZN": _nand}),
+    "NOR2": (["A", "B"], {"ZN": _nor}),
+    "NOR3": (["A", "B", "C"], {"ZN": _nor}),
+    "NOR4": (["A", "B", "C", "D"], {"ZN": _nor}),
+    "AND2": (["A1", "A2"], {"Z": lambda a, b: a and b}),
+    "OR2": (["A1", "A2"], {"Z": lambda a, b: a or b}),
+    "AOI21": (["A1", "A2", "B"],
+              {"ZN": lambda a1, a2, b: not ((a1 and a2) or b)}),
+    "OAI21": (["A1", "A2", "B"],
+              {"ZN": lambda a1, a2, b: not ((a1 or a2) and b)}),
+    "AOI22": (["A1", "A2", "B1", "B2"],
+              {"ZN": lambda a1, a2, b1, b2: not ((a1 and a2) or (b1 and b2))}),
+    "OAI22": (["A1", "A2", "B1", "B2"],
+              {"ZN": lambda a1, a2, b1, b2: not ((a1 or a2) and (b1 or b2))}),
+    "XOR2": (["A", "B"], {"Z": lambda a, b: a != b}),
+    "XNOR2": (["A", "B"], {"ZN": lambda a, b: a == b}),
+    "MUX2": (["A", "B", "S"], {"Z": lambda a, b, s: b if s else a}),
+    "HA": (["A", "B"], {"S": lambda a, b: a != b,
+                        "CO": lambda a, b: a and b}),
+    "FA": (["A", "B", "CI"],
+           {"S": lambda a, b, ci: (a != b) != ci,
+            "CO": lambda a, b, ci: (a and b) or (ci and (a or b))}),
+}
+
+# Sequential next-state behaviour: Q follows the data input at the edge.
+_SEQ_DATA_PIN = {"DFF": "D", "DFFR": "D", "SDFF": "D", "DLH": "D"}
+
+
+def is_combinational(cell_type: str) -> bool:
+    return cell_type in _FUNCTIONS
+
+
+def combinational_inputs(cell_type: str) -> List[str]:
+    _check(cell_type)
+    return list(_FUNCTIONS[cell_type][0])
+
+
+def evaluate(cell_type: str, inputs: Dict[str, bool]) -> Dict[str, bool]:
+    """Evaluate a combinational cell's outputs for one input vector."""
+    _check(cell_type)
+    pins, outs = _FUNCTIONS[cell_type]
+    try:
+        args = [inputs[p] for p in pins]
+    except KeyError as exc:
+        raise LibraryError(
+            f"{cell_type}: missing input value for pin {exc}")
+    return {name: bool(fn(*args)) for name, fn in outs.items()}
+
+
+def sensitizing_vector(cell_type: str, toggled_pin: str,
+                       output_pin: str) -> Dict[str, bool]:
+    """Side-input values that make ``output_pin`` toggle with ``toggled_pin``.
+
+    Returns an assignment for the *other* inputs such that flipping the
+    toggled pin flips the output.  Raises if the arc cannot be sensitized.
+    """
+    _check(cell_type)
+    pins, _ = _FUNCTIONS[cell_type]
+    if toggled_pin not in pins:
+        raise LibraryError(
+            f"{cell_type}: pin {toggled_pin!r} is not an input")
+    others = [p for p in pins if p != toggled_pin]
+    for values in product([False, True], repeat=len(others)):
+        side = dict(zip(others, values))
+        lo = evaluate(cell_type, {**side, toggled_pin: False})
+        hi = evaluate(cell_type, {**side, toggled_pin: True})
+        if lo[output_pin] != hi[output_pin]:
+            return side
+    raise LibraryError(
+        f"{cell_type}: arc {toggled_pin}->{output_pin} cannot be "
+        f"sensitized")
+
+
+def output_probabilities(cell_type: str,
+                         input_probs: Dict[str, float]) -> Dict[str, float]:
+    """P(output = 1) per output, assuming independent inputs.
+
+    Exact truth-table enumeration — library cells have at most 4 inputs.
+    """
+    _check(cell_type)
+    pins, outs = _FUNCTIONS[cell_type]
+    result = {name: 0.0 for name in outs}
+    for values in product([False, True], repeat=len(pins)):
+        p = 1.0
+        for pin, val in zip(pins, values):
+            prob = input_probs.get(pin, 0.5)
+            p *= prob if val else (1.0 - prob)
+        if p == 0.0:
+            continue
+        out_vals = evaluate(cell_type, dict(zip(pins, values)))
+        for name, val in out_vals.items():
+            if val:
+                result[name] += p
+    return result
+
+
+def boolean_difference_probability(cell_type: str, pin: str,
+                                   output_pin: str,
+                                   input_probs: Dict[str, float]) -> float:
+    """P(output toggles | pin toggles): the transition-density propagator.
+
+    This is the probability that the boolean difference dF/dpin is true
+    under the side-input distribution (Najm's transition density model).
+    """
+    _check(cell_type)
+    pins, _ = _FUNCTIONS[cell_type]
+    if pin not in pins:
+        raise LibraryError(f"{cell_type}: pin {pin!r} is not an input")
+    others = [p for p in pins if p != pin]
+    total = 0.0
+    for values in product([False, True], repeat=len(others)):
+        p = 1.0
+        for other, val in zip(others, values):
+            prob = input_probs.get(other, 0.5)
+            p *= prob if val else (1.0 - prob)
+        if p == 0.0:
+            continue
+        side = dict(zip(others, values))
+        lo = evaluate(cell_type, {**side, pin: False})[output_pin]
+        hi = evaluate(cell_type, {**side, pin: True})[output_pin]
+        if lo != hi:
+            total += p
+    return total
+
+
+def sequential_data_pin(cell_type: str) -> str:
+    try:
+        return _SEQ_DATA_PIN[cell_type]
+    except KeyError:
+        raise LibraryError(f"{cell_type} is not a sequential cell type")
+
+
+def _check(cell_type: str) -> None:
+    if cell_type not in _FUNCTIONS:
+        raise LibraryError(
+            f"no combinational function for cell type {cell_type!r}")

@@ -1,0 +1,515 @@
+"""Transistor-level cell netlists.
+
+Cells are described by their pull-down network topology (for complementary
+CMOS gates the pull-up network is the series/parallel dual) or by explicit
+structural recipes (transmission-gate XOR/MUX, master-slave flip-flops).
+The builder produces a :class:`CellNetlist`: a set of nets, a list of
+:class:`~repro.cells.transistor.Device` instances, and pin annotations —
+the same content as the SPICE netlists the paper extracts with Calibre XRC
+(minus the parasitics, which :mod:`repro.extraction` adds).
+
+Network expressions are nested tuples::
+
+    ("in", "A")                      a single transistor gated by pin A
+    ("s", [expr, expr, ...])         series connection
+    ("p", [expr, expr, ...])         parallel connection
+
+Devices in a series stack of depth ``d`` are upsized by ``d`` to keep the
+stack's drive comparable to a single device, the standard cell-design
+practice (and the reason NAND2 transistors are wider than INV's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import NetlistError
+from repro.cells.transistor import Device
+
+# Base X1 transistor widths in um, matching the Nangate 45 nm INV_X1
+# (PMOS wider to compensate hole mobility).
+BASE_NMOS_WIDTH_UM = 0.415
+BASE_PMOS_WIDTH_UM = 0.630
+
+VDD_NET = "VDD"
+VSS_NET = "VSS"
+
+
+@dataclass
+class CellNetlist:
+    """Transistor-level view of one cell."""
+
+    cell_name: str
+    devices: List[Device] = field(default_factory=list)
+    input_pins: List[str] = field(default_factory=list)
+    output_pins: List[str] = field(default_factory=list)
+    clock_pins: List[str] = field(default_factory=list)
+
+    def nets(self) -> List[str]:
+        """All nets referenced by devices, rails first, sorted."""
+        seen = {VDD_NET, VSS_NET}
+        for dev in self.devices:
+            seen.update((dev.gate, dev.drain, dev.source))
+        rails = [VDD_NET, VSS_NET]
+        others = sorted(seen - set(rails))
+        return rails + others
+
+    def internal_nets(self) -> List[str]:
+        """Nets that are neither rails nor pins."""
+        pins = set(self.input_pins) | set(self.output_pins) | set(self.clock_pins)
+        return [n for n in self.nets()
+                if n not in pins and n not in (VDD_NET, VSS_NET)]
+
+    def transistor_count(self) -> int:
+        return len(self.devices)
+
+    def pin_gate_width_um(self, pin: str) -> float:
+        """Total transistor gate width driven by an input pin.
+
+        Determines the pin's input capacitance.
+        """
+        return sum(d.width_um for d in self.devices if d.gate == pin)
+
+    def output_drive_widths_um(self, pin: str) -> Tuple[float, float]:
+        """(total PMOS width, total NMOS width) of devices driving a pin.
+
+        Used by the analytical characterizer for the output-stage strength.
+        Only devices whose drain or source touches the pin count; for
+        complementary gates this is the full output stage.
+        """
+        p_width = 0.0
+        n_width = 0.0
+        for dev in self.devices:
+            if pin in (dev.drain, dev.source):
+                if dev.is_pmos:
+                    p_width += dev.width_um
+                else:
+                    n_width += dev.width_um
+        return p_width, n_width
+
+    def total_width_um(self) -> float:
+        return sum(d.width_um for d in self.devices)
+
+    def validate(self) -> None:
+        """Check structural sanity; raise NetlistError on problems."""
+        if not self.devices:
+            raise NetlistError(f"cell {self.cell_name!r} has no devices")
+        if not self.output_pins:
+            raise NetlistError(f"cell {self.cell_name!r} has no outputs")
+        nets = set(self.nets())
+        for pin in (self.input_pins + self.output_pins + self.clock_pins):
+            if pin not in nets:
+                raise NetlistError(
+                    f"cell {self.cell_name!r}: pin {pin!r} not connected")
+        for dev in self.devices:
+            if dev.width_um <= 0.0:
+                raise NetlistError(
+                    f"cell {self.cell_name!r}: device {dev.name} has "
+                    f"non-positive width")
+
+
+class _Builder:
+    """Accumulates devices and fresh internal node names."""
+
+    def __init__(self, cell_name: str, wn_um: float = BASE_NMOS_WIDTH_UM,
+                 wp_um: float = BASE_PMOS_WIDTH_UM) -> None:
+        self.cell_name = cell_name
+        self.wn = wn_um
+        self.wp = wp_um
+        self.devices: List[Device] = []
+        self._node_counter = 0
+        self._dev_counter = 0
+
+    def fresh_node(self, hint: str = "n") -> str:
+        self._node_counter += 1
+        return f"{hint}{self._node_counter}"
+
+    def add(self, is_pmos: bool, width_um: float, gate: str,
+            drain: str, source: str) -> None:
+        self._dev_counter += 1
+        prefix = "MP" if is_pmos else "MN"
+        self.devices.append(Device(
+            name=f"{prefix}{self._dev_counter}",
+            is_pmos=is_pmos,
+            width_um=width_um,
+            gate=gate,
+            drain=drain,
+            source=source,
+        ))
+
+
+Expr = Tuple  # ("in", pin) | ("s", [Expr]) | ("p", [Expr])
+
+
+def _expr_depth(expr: Expr) -> int:
+    """Maximum series-stack depth of a network expression."""
+    kind = expr[0]
+    if kind == "in":
+        return 1
+    if kind == "s":
+        return sum(_expr_depth(e) for e in expr[1])
+    if kind == "p":
+        return max(_expr_depth(e) for e in expr[1])
+    raise NetlistError(f"bad network expression kind {kind!r}")
+
+
+def _dual(expr: Expr) -> Expr:
+    """Series/parallel dual (pull-up network of a pull-down expression)."""
+    kind = expr[0]
+    if kind == "in":
+        return expr
+    if kind == "s":
+        return ("p", [_dual(e) for e in expr[1]])
+    if kind == "p":
+        return ("s", [_dual(e) for e in expr[1]])
+    raise NetlistError(f"bad network expression kind {kind!r}")
+
+
+def _emit_network(builder: _Builder, expr: Expr, is_pmos: bool,
+                  top: str, bottom: str, base_width: float,
+                  stack_depth: int) -> None:
+    """Emit transistors realizing ``expr`` between nodes top and bottom.
+
+    ``stack_depth`` is the total series depth of the network; every device
+    is upsized by it.
+    """
+    kind = expr[0]
+    if kind == "in":
+        builder.add(is_pmos, base_width * stack_depth, expr[1], top, bottom)
+        return
+    if kind == "s":
+        nodes = [top]
+        for _ in range(len(expr[1]) - 1):
+            nodes.append(builder.fresh_node())
+        nodes.append(bottom)
+        for sub, hi, lo in zip(expr[1], nodes[:-1], nodes[1:]):
+            _emit_network(builder, sub, is_pmos, hi, lo, base_width,
+                          stack_depth)
+        return
+    if kind == "p":
+        for sub in expr[1]:
+            _emit_network(builder, sub, is_pmos, top, bottom, base_width,
+                          stack_depth)
+        return
+    raise NetlistError(f"bad network expression kind {kind!r}")
+
+
+def _emit_complementary(builder: _Builder, pdn: Expr, output: str,
+                        strength: float) -> None:
+    """Emit a full complementary CMOS stage driving ``output``."""
+    pun = _dual(pdn)
+    n_depth = _expr_depth(pdn)
+    p_depth = _expr_depth(pun)
+    _emit_network(builder, pdn, False, output, VSS_NET,
+                  builder.wn * strength, n_depth)
+    _emit_network(builder, pun, True, output, VDD_NET,
+                  builder.wp * strength, p_depth)
+
+
+def _emit_inverter(builder: _Builder, inp: str, out: str,
+                   strength: float) -> None:
+    builder.add(False, builder.wn * strength, inp, out, VSS_NET)
+    builder.add(True, builder.wp * strength, inp, out, VDD_NET)
+
+
+def _emit_tgate(builder: _Builder, inp: str, out: str, ctrl: str,
+                ctrl_bar: str, strength: float) -> None:
+    """Transmission gate between inp and out, on when ctrl is high."""
+    builder.add(False, builder.wn * strength, ctrl, out, inp)
+    builder.add(True, builder.wp * strength, ctrl_bar, out, inp)
+
+
+# ---------------------------------------------------------------------------
+# Cell recipes
+# ---------------------------------------------------------------------------
+
+def _inv(builder: _Builder, strength: float) -> Tuple[List[str], List[str]]:
+    _emit_inverter(builder, "A", "ZN", strength)
+    return ["A"], ["ZN"]
+
+
+def _buf(builder: _Builder, strength: float) -> Tuple[List[str], List[str]]:
+    # First stage at ~1/3 the output strength, never below X1.
+    _emit_inverter(builder, "A", "zi", max(strength / 3.0, 1.0))
+    _emit_inverter(builder, "zi", "Z", strength)
+    return ["A"], ["Z"]
+
+
+def _nand(n_inputs: int):
+    def recipe(builder: _Builder, strength: float):
+        pins = [chr(ord("A") + i) for i in range(n_inputs)]
+        pdn: Expr = ("s", [("in", p) for p in pins])
+        _emit_complementary(builder, pdn, "ZN", strength)
+        return pins, ["ZN"]
+    return recipe
+
+
+def _nor(n_inputs: int):
+    def recipe(builder: _Builder, strength: float):
+        pins = [chr(ord("A") + i) for i in range(n_inputs)]
+        pdn: Expr = ("p", [("in", p) for p in pins])
+        _emit_complementary(builder, pdn, "ZN", strength)
+        return pins, ["ZN"]
+    return recipe
+
+
+def _and2(builder: _Builder, strength: float):
+    pdn: Expr = ("s", [("in", "A1"), ("in", "A2")])
+    _emit_complementary(builder, pdn, "zi", max(strength / 2.0, 1.0))
+    _emit_inverter(builder, "zi", "Z", strength)
+    return ["A1", "A2"], ["Z"]
+
+
+def _or2(builder: _Builder, strength: float):
+    pdn: Expr = ("p", [("in", "A1"), ("in", "A2")])
+    _emit_complementary(builder, pdn, "zi", max(strength / 2.0, 1.0))
+    _emit_inverter(builder, "zi", "Z", strength)
+    return ["A1", "A2"], ["Z"]
+
+
+def _aoi21(builder: _Builder, strength: float):
+    pdn: Expr = ("p", [("s", [("in", "A1"), ("in", "A2")]), ("in", "B")])
+    _emit_complementary(builder, pdn, "ZN", strength)
+    return ["A1", "A2", "B"], ["ZN"]
+
+
+def _oai21(builder: _Builder, strength: float):
+    pdn: Expr = ("s", [("p", [("in", "A1"), ("in", "A2")]), ("in", "B")])
+    _emit_complementary(builder, pdn, "ZN", strength)
+    return ["A1", "A2", "B"], ["ZN"]
+
+
+def _aoi22(builder: _Builder, strength: float):
+    pdn: Expr = ("p", [("s", [("in", "A1"), ("in", "A2")]),
+                       ("s", [("in", "B1"), ("in", "B2")])])
+    _emit_complementary(builder, pdn, "ZN", strength)
+    return ["A1", "A2", "B1", "B2"], ["ZN"]
+
+
+def _oai22(builder: _Builder, strength: float):
+    pdn: Expr = ("s", [("p", [("in", "A1"), ("in", "A2")]),
+                       ("p", [("in", "B1"), ("in", "B2")])])
+    _emit_complementary(builder, pdn, "ZN", strength)
+    return ["A1", "A2", "B1", "B2"], ["ZN"]
+
+
+def _xor2(builder: _Builder, strength: float):
+    """Transmission-gate XOR: 2 inverters + 2 tgates + output inverter."""
+    _emit_inverter(builder, "A", "a_b", 1.0)
+    _emit_inverter(builder, "B", "b_b", 1.0)
+    # zi = A xnor B via tgates: when B high pass a_b, when B low pass A.
+    _emit_tgate(builder, "a_b", "zi", "B", "b_b", strength)
+    _emit_tgate(builder, "A", "zi", "b_b", "B", strength)
+    _emit_inverter(builder, "zi", "Z", strength)
+    return ["A", "B"], ["Z"]
+
+
+def _xnor2(builder: _Builder, strength: float):
+    _emit_inverter(builder, "A", "a_b", 1.0)
+    _emit_inverter(builder, "B", "b_b", 1.0)
+    _emit_tgate(builder, "A", "zi", "B", "b_b", strength)
+    _emit_tgate(builder, "a_b", "zi", "b_b", "B", strength)
+    _emit_inverter(builder, "zi", "ZN", strength)
+    return ["A", "B"], ["ZN"]
+
+
+def _mux2(builder: _Builder, strength: float):
+    """Transmission-gate 2:1 mux with buffered output (Nangate MUX2 style)."""
+    _emit_inverter(builder, "S", "s_b", 1.0)
+    _emit_tgate(builder, "A", "zi", "s_b", "S", strength)
+    _emit_tgate(builder, "B", "zi", "S", "s_b", strength)
+    _emit_inverter(builder, "zi", "zib", strength)
+    _emit_inverter(builder, "zib", "Z", strength)
+    return ["A", "B", "S"], ["Z"]
+
+
+def _ha(builder: _Builder, strength: float):
+    """Half adder: XOR for sum, AND for carry."""
+    _emit_inverter(builder, "A", "a_b", 1.0)
+    _emit_inverter(builder, "B", "b_b", 1.0)
+    _emit_tgate(builder, "a_b", "si", "B", "b_b", strength)
+    _emit_tgate(builder, "A", "si", "b_b", "B", strength)
+    _emit_inverter(builder, "si", "S", strength)
+    pdn: Expr = ("s", [("in", "A"), ("in", "B")])
+    _emit_complementary(builder, pdn, "co_b", 1.0)
+    _emit_inverter(builder, "co_b", "CO", strength)
+    return ["A", "B"], ["S", "CO"]
+
+
+def _fa(builder: _Builder, strength: float):
+    """Full adder: mirror-style carry gate + sum gate (static CMOS)."""
+    # Carry-out (inverted): !(A*B + CI*(A+B))
+    carry_pdn: Expr = ("p", [("s", [("in", "A"), ("in", "B")]),
+                             ("s", [("in", "CI"),
+                                    ("p", [("in", "A"), ("in", "B")])])])
+    _emit_complementary(builder, carry_pdn, "co_b", 1.0)
+    _emit_inverter(builder, "co_b", "CO", strength)
+    # Sum (inverted): !(A*B*CI + co_b*(A+B+CI))
+    sum_pdn: Expr = ("p", [
+        ("s", [("in", "A"), ("in", "B"), ("in", "CI")]),
+        ("s", [("in", "co_b"),
+               ("p", [("in", "A"), ("in", "B"), ("in", "CI")])]),
+    ])
+    _emit_complementary(builder, sum_pdn, "s_b", 1.0)
+    _emit_inverter(builder, "s_b", "S", strength)
+    return ["A", "B", "CI"], ["S", "CO"]
+
+
+def _dff_core(builder: _Builder, strength: float, data_net: str):
+    """Master-slave transmission-gate D flip-flop driving Q (and QN)."""
+    _emit_inverter(builder, "CK", "ckb", 1.0)
+    _emit_inverter(builder, "ckb", "cki", 1.0)
+    # Master latch.
+    _emit_tgate(builder, data_net, "m_in", "ckb", "cki", 1.0)
+    _emit_inverter(builder, "m_in", "m_out", 1.0)
+    _emit_inverter(builder, "m_out", "m_fb", 1.0)
+    _emit_tgate(builder, "m_fb", "m_in", "cki", "ckb", 1.0)
+    # Slave latch.
+    _emit_tgate(builder, "m_out", "s_in", "cki", "ckb", 1.0)
+    _emit_inverter(builder, "s_in", "s_out", 1.0)
+    _emit_inverter(builder, "s_out", "s_fb", 1.0)
+    _emit_tgate(builder, "s_fb", "s_in", "ckb", "cki", 1.0)
+    # Output buffers: s_in = !D after the rising edge, so Q = !s_in = D.
+    _emit_inverter(builder, "s_in", "Q", strength)
+    _emit_inverter(builder, "s_out", "QN", strength)
+
+
+def _dff(builder: _Builder, strength: float):
+    _dff_core(builder, strength, "D")
+    return ["D"], ["Q", "QN"]
+
+
+def _dffr(builder: _Builder, strength: float):
+    """DFF with synchronous reset: gate the data with RN before the core."""
+    pdn: Expr = ("s", [("in", "D"), ("in", "RN")])
+    _emit_complementary(builder, pdn, "d_b", 1.0)
+    _emit_inverter(builder, "d_b", "d_g", 1.0)
+    _dff_core(builder, strength, "d_g")
+    return ["D", "RN"], ["Q", "QN"]
+
+
+def _sdff(builder: _Builder, strength: float):
+    """Scan DFF: 2:1 mux (SE selects SI) in front of the core."""
+    _emit_inverter(builder, "SE", "se_b", 1.0)
+    _emit_tgate(builder, "D", "d_m", "se_b", "SE", 1.0)
+    _emit_tgate(builder, "SI", "d_m", "SE", "se_b", 1.0)
+    _emit_inverter(builder, "d_m", "d_mb", 1.0)
+    _emit_inverter(builder, "d_mb", "d_g", 1.0)
+    _dff_core(builder, strength, "d_g")
+    return ["D", "SI", "SE"], ["Q", "QN"]
+
+
+def _dlh(builder: _Builder, strength: float):
+    """Transparent-high D latch."""
+    _emit_inverter(builder, "G", "gb", 1.0)
+    _emit_tgate(builder, "D", "l_in", "G", "gb", 1.0)
+    _emit_inverter(builder, "l_in", "l_out", 1.0)
+    _emit_inverter(builder, "l_out", "l_fb", 1.0)
+    _emit_tgate(builder, "l_fb", "l_in", "gb", "G", 1.0)
+    _emit_inverter(builder, "l_out", "Q", strength)
+    return ["D", "G"], ["Q"]
+
+
+def _tbuf(builder: _Builder, strength: float):
+    """Tri-state buffer: EN high drives Z, EN low floats it."""
+    _emit_inverter(builder, "A", "ab", 1.0)
+    _emit_inverter(builder, "EN", "enb", 1.0)
+    # Stacked output stage: PMOS(ab) over PMOS(enb), NMOS(ab) over NMOS(EN).
+    builder.add(True, builder.wp * strength * 2, "enb", "Z", "pz")
+    builder.add(True, builder.wp * strength * 2, "ab", "pz", VDD_NET)
+    builder.add(False, builder.wn * strength * 2, "EN", "Z", "nz")
+    builder.add(False, builder.wn * strength * 2, "ab", "nz", VSS_NET)
+    return ["A", "EN"], ["Z"]
+
+
+_RECIPES = {
+    "INV": _inv,
+    "BUF": _buf,
+    "CLKBUF": _buf,
+    "NAND2": _nand(2),
+    "NAND3": _nand(3),
+    "NAND4": _nand(4),
+    "NOR2": _nor(2),
+    "NOR3": _nor(3),
+    "NOR4": _nor(4),
+    "AND2": _and2,
+    "OR2": _or2,
+    "AOI21": _aoi21,
+    "OAI21": _oai21,
+    "AOI22": _aoi22,
+    "OAI22": _oai22,
+    "XOR2": _xor2,
+    "XNOR2": _xnor2,
+    "MUX2": _mux2,
+    "HA": _ha,
+    "FA": _fa,
+    "DFF": _dff,
+    "DFFR": _dffr,
+    "SDFF": _sdff,
+    "DLH": _dlh,
+    "TBUF": _tbuf,
+}
+
+_SEQUENTIAL_TYPES = {"DFF", "DFFR", "SDFF", "DLH"}
+_CLOCK_PIN = {"DFF": "CK", "DFFR": "CK", "SDFF": "CK", "DLH": "G"}
+
+
+def cell_types() -> List[str]:
+    """All known logical cell types."""
+    return sorted(_RECIPES)
+
+
+def is_sequential_type(cell_type: str) -> bool:
+    return cell_type in _SEQUENTIAL_TYPES
+
+
+def base_widths_for(node) -> Tuple[float, float]:
+    """(NMOS, PMOS) X1 base widths in um for a technology node.
+
+    At 45 nm the Nangate values apply (PMOS widened for the hole-mobility
+    skew).  At 7 nm devices are multi-gate with fixed, quantized widths —
+    one fin of effective width 2 * 18 + 7 = 43 nm — and matched mobility,
+    so PMOS and NMOS are the same size (Table 6: "transistor width fixed").
+    """
+    if node is not None and getattr(node, "fixed_transistor_width", False):
+        return 0.043, 0.043
+    return BASE_NMOS_WIDTH_UM, BASE_PMOS_WIDTH_UM
+
+
+def build_cell_netlist(cell_type: str, strength: float,
+                       node=None, cell_name: str = "") -> CellNetlist:
+    """Construct the transistor netlist of one cell.
+
+    Parameters
+    ----------
+    cell_type:
+        Logical type, e.g. "NAND2" (see :func:`cell_types`).
+    strength:
+        Drive strength multiplier (1.0 for X1, 2.0 for X2, ...).
+    node:
+        Optional :class:`~repro.tech.node.TechNode`; selects the base
+        transistor widths (45 nm skewed planar vs 7 nm quantized fins).
+    cell_name:
+        Optional display name; defaults to ``{type}_X{strength}``.
+    """
+    if cell_type not in _RECIPES:
+        raise NetlistError(f"unknown cell type {cell_type!r}")
+    if strength <= 0.0:
+        raise NetlistError("drive strength must be positive")
+    name = cell_name or f"{cell_type}_X{strength:g}"
+    wn, wp = base_widths_for(node)
+    builder = _Builder(name, wn_um=wn, wp_um=wp)
+    inputs, outputs = _RECIPES[cell_type](builder, strength)
+    clocks = []
+    if cell_type in _SEQUENTIAL_TYPES:
+        clocks = [_CLOCK_PIN[cell_type]]
+    netlist = CellNetlist(
+        cell_name=name,
+        devices=builder.devices,
+        input_pins=list(inputs),
+        output_pins=list(outputs),
+        clock_pins=clocks,
+    )
+    netlist.validate()
+    return netlist

@@ -1,0 +1,339 @@
+"""Library characterization: the Encounter Library Characterizer substitute.
+
+For every cell, builds a simulation circuit from the transistor netlist
+plus extracted parasitics, sweeps an input-slew x output-load grid, and
+produces Liberty-style NLDM tables (delay, output slew, internal energy)
+plus a leakage estimate.
+
+Per grid point, both output transitions are simulated (the paper's tables
+average rise and fall).  Combinational arcs hold the side inputs at
+sensitizing values; sequential cells are characterized on the clock->Q arc
+with the data input held, after a settling phase that establishes the
+latch state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CharacterizationError
+from repro.cells.logic import (
+    is_combinational,
+    sensitizing_vector,
+)
+from repro.cells.netlist import CellNetlist, VDD_NET, VSS_NET
+from repro.cells.transistor import device_params_for
+from repro.extraction.rc import CellParasitics
+from repro.characterize.liberty import (
+    NLDMTable,
+    TimingArc,
+    CellCharacterization,
+)
+from repro.characterize.mna import MNACircuit
+from repro.characterize.waveforms import (
+    RampStimulus,
+    constant,
+    measure_delay_slew,
+)
+from repro.tech.node import TechNode, NODE_45NM
+
+# Default characterization grid: the paper's fast/medium/slow corners
+# (Table 2).  Sequential cells use the derated slews of the same table.
+DEFAULT_SLEWS_PS = (7.5, 37.5, 150.0)
+DEFAULT_SEQ_SLEWS_PS = (5.0, 28.1, 112.5)
+DEFAULT_LOADS_FF = (0.8, 3.2, 12.8)
+
+# Fraction of devices assumed leaking at any time (stacking factor).
+LEAKAGE_STATE_FACTOR = 0.5
+
+# Setup time as a fraction of clock->Q delay (typical master-slave DFF).
+SETUP_FRACTION_OF_CLK_Q = 0.6
+
+# Which arc represents the cell in Table-2-style studies.
+_PREFERRED_ARC = {
+    "MUX2": ("S", "Z"),
+    "XOR2": ("A", "Z"),
+    "XNOR2": ("A", "ZN"),
+    "HA": ("A", "S"),
+    "FA": ("A", "S"),
+}
+
+# Held values for sequential side pins during clock->Q characterization.
+_SEQ_SIDE_VALUES = {"RN": True, "SE": False, "SI": False}
+
+
+@dataclass
+class CharacterizationSetup:
+    """Grid and environment for a characterization run."""
+
+    node: TechNode = NODE_45NM
+    slews_ps: Sequence[float] = DEFAULT_SLEWS_PS
+    seq_slews_ps: Sequence[float] = DEFAULT_SEQ_SLEWS_PS
+    loads_ff: Sequence[float] = DEFAULT_LOADS_FF
+    settle_ns: float = 0.8
+    settle_dt_ns: float = 0.02
+    # Measurement-window scale: multiplied by (slew + expected RC span).
+    window_scale: float = 1.0
+
+
+def _wire_node(net: str) -> str:
+    return f"{net}__w"
+
+
+def _build_circuit(netlist: CellNetlist, parasitics: Optional[CellParasitics],
+                   node: TechNode, load_ff: float, output_pin: str
+                   ) -> Tuple[MNACircuit, Dict[str, str]]:
+    """Assemble the MNA circuit of one cell.
+
+    Each net with extracted resistance is modeled as a pi segment: devices'
+    drains/sources attach at the near node, gate terminals and external
+    connections (stimulus, load) at the far node.  Returns the circuit and
+    a map net -> far-node name (where pins are observed).
+    """
+    circuit = MNACircuit()
+    vdd = node.vdd
+    circuit.drive(VDD_NET, constant(vdd), is_supply=True)
+    circuit.drive(VSS_NET, constant(0.0))
+
+    far: Dict[str, str] = {}
+    for net in netlist.nets():
+        if net in (VDD_NET, VSS_NET):
+            far[net] = net
+            continue
+        r_kohm = 0.0
+        c_ff = 0.0
+        if parasitics is not None and net in parasitics.nets:
+            pn = parasitics.nets[net]
+            r_kohm = pn.resistance_kohm
+            c_ff = pn.capacitance_ff
+        if r_kohm > 1.0e-6:
+            wire = _wire_node(net)
+            circuit.add_resistor(net, wire, r_kohm)
+            circuit.add_capacitor(net, VSS_NET, c_ff / 2.0)
+            circuit.add_capacitor(wire, VSS_NET, c_ff / 2.0)
+            far[net] = wire
+        else:
+            circuit.add_capacitor(net, VSS_NET, c_ff)
+            far[net] = net
+
+    for dev in netlist.devices:
+        params = device_params_for(node, dev.is_pmos)
+        # Gates see the far (post-resistance) side of their net; S/D attach
+        # at the near side.
+        circuit.add_mosfet(params, dev.width_um, far[dev.gate],
+                           dev.drain, dev.source)
+        circuit.add_capacitor(far[dev.gate], VSS_NET,
+                              params.gate_cap_ff(dev.width_um))
+        for term in (dev.drain, dev.source):
+            if term not in (VDD_NET, VSS_NET):
+                circuit.add_capacitor(term, VSS_NET,
+                                      params.sd_cap_ff(dev.width_um))
+
+    if load_ff > 0.0:
+        circuit.add_capacitor(far[output_pin], VSS_NET, load_ff)
+    return circuit, far
+
+
+def _settle(circuit: MNACircuit, setup: CharacterizationSetup,
+            initial: Optional[Dict[str, float]] = None) -> Dict[str, float]:
+    """Run the settling phase; returns final node voltages."""
+    result = circuit.transient(setup.settle_ns, setup.settle_dt_ns,
+                               initial=initial)
+    return {name: float(wave[-1]) for name, wave in result.voltages.items()}
+
+
+def _window_ns(node: TechNode, slew_ps: float, load_ff: float,
+               setup: CharacterizationSetup) -> Tuple[float, float]:
+    """(t_stop_ns, dt_ns) for a measurement run."""
+    # Expected span: input ramp + generous multiple of the drive RC.
+    drive_kohm = 25.0 if node.name.startswith("45") else 12.0
+    rc_ps = drive_kohm * (load_ff + 3.0)
+    t_stop_ns = (slew_ps + 8.0 * rc_ps) / 1000.0 * setup.window_scale + 0.15
+    dt_ns = max(slew_ps / 25.0, t_stop_ns * 1000.0 / 700.0) / 1000.0
+    return t_stop_ns, dt_ns
+
+
+def _leakage_mw(netlist: CellNetlist, node: TechNode) -> float:
+    """Average leakage power, mW."""
+    total_ua = 0.0
+    for dev in netlist.devices:
+        params = device_params_for(node, dev.is_pmos)
+        total_ua += params.leakage_current_ua(dev.width_um)
+    return total_ua * LEAKAGE_STATE_FACTOR * node.vdd * 1.0e-3
+
+
+def preferred_arc(netlist: CellNetlist, cell_type: str) -> Tuple[str, str]:
+    """(input pin, output pin) of the cell's representative timing arc."""
+    if cell_type in _PREFERRED_ARC:
+        return _PREFERRED_ARC[cell_type]
+    if netlist.clock_pins:
+        return netlist.clock_pins[0], netlist.output_pins[0]
+    return netlist.input_pins[0], netlist.output_pins[0]
+
+
+def _measure_combinational(netlist: CellNetlist,
+                           parasitics: Optional[CellParasitics],
+                           cell_type: str, in_pin: str, out_pin: str,
+                           slew_ps: float, load_ff: float,
+                           setup: CharacterizationSetup
+                           ) -> Tuple[float, float, float]:
+    """(delay_ps, slew_ps, energy_fj) averaged over rise and fall."""
+    node = setup.node
+    vdd = node.vdd
+    side = sensitizing_vector(cell_type, in_pin, out_pin)
+    delays, slews, energies = [], [], []
+    for input_rising in (True, False):
+        circuit, far = _build_circuit(netlist, parasitics, node, load_ff,
+                                      out_pin)
+        v0 = 0.0 if input_rising else vdd
+        for pin, value in side.items():
+            circuit.drive(pin, constant(vdd if value else 0.0))
+        circuit.drive(in_pin, constant(v0))
+        initial = _settle(circuit, setup)
+        out_start = initial.get(far[out_pin], 0.0)
+        output_rising = out_start < vdd / 2.0
+
+        circuit2, far2 = _build_circuit(netlist, parasitics, node, load_ff,
+                                        out_pin)
+        for pin, value in side.items():
+            circuit2.drive(pin, constant(vdd if value else 0.0))
+        start_ns = 0.02
+        stim = RampStimulus(v0=v0, v1=vdd - v0, start_ns=start_ns,
+                            slew_ps=slew_ps)
+        circuit2.drive(in_pin, stim)
+        t_stop, dt = _window_ns(node, slew_ps, load_ff, setup)
+        result = circuit2.transient(t_stop + start_ns, dt,
+                                    record=[far2[out_pin]],
+                                    initial=initial)
+        out_wave = result.voltage(far2[out_pin])
+        delay_ps, out_slew_ps = measure_delay_slew(
+            result.times_ns, out_wave, vdd, stim.mid_crossing_ns,
+            output_rising)
+        e_supply = result.supply_energy_fj
+        # Subtract leakage baseline and, for a rising output, the energy
+        # delivered into the external load (Liberty internal-power
+        # convention).
+        leak_fj = (_leakage_mw(netlist, node) * 1.0e3) * (t_stop + start_ns)
+        e_int = e_supply - leak_fj
+        if output_rising:
+            e_int -= load_ff * vdd * vdd
+        energies.append(max(e_int, 0.0))
+        delays.append(delay_ps)
+        slews.append(out_slew_ps)
+    return (float(np.mean(delays)), float(np.mean(slews)),
+            float(np.mean(energies)))
+
+
+def _measure_sequential(netlist: CellNetlist,
+                        parasitics: Optional[CellParasitics],
+                        clk_pin: str, out_pin: str,
+                        slew_ps: float, load_ff: float,
+                        setup: CharacterizationSetup
+                        ) -> Tuple[float, float, float]:
+    """Clock->Q measurement, averaged over Q rising and falling."""
+    node = setup.node
+    vdd = node.vdd
+    data_pin = netlist.input_pins[0]
+    delays, slews, energies = [], [], []
+    for q_rising in (True, False):
+        d_value = vdd if q_rising else 0.0
+        circuit, far = _build_circuit(netlist, parasitics, node, load_ff,
+                                      out_pin)
+        circuit.drive(data_pin, constant(d_value))
+        for pin in netlist.input_pins[1:]:
+            held = _SEQ_SIDE_VALUES.get(pin, False)
+            circuit.drive(pin, constant(vdd if held else 0.0))
+        circuit.drive(clk_pin, constant(0.0))
+        # Seed the slave latch in the *pre-edge* state (Q at the opposite
+        # rail of its post-edge value) so the clock edge produces a
+        # measurable output transition.  The feedback keeper then holds the
+        # state through the settle phase.
+        seed_s_in = vdd if q_rising else 0.0
+        seed = {"s_in": seed_s_in, "s_in__w": seed_s_in,
+                "s_fb": seed_s_in, "s_fb__w": seed_s_in,
+                "s_out": vdd - seed_s_in, "s_out__w": vdd - seed_s_in}
+        initial = _settle(circuit, setup, initial=seed)
+
+        circuit2, far2 = _build_circuit(netlist, parasitics, node, load_ff,
+                                        out_pin)
+        circuit2.drive(data_pin, constant(d_value))
+        for pin in netlist.input_pins[1:]:
+            held = _SEQ_SIDE_VALUES.get(pin, False)
+            circuit2.drive(pin, constant(vdd if held else 0.0))
+        start_ns = 0.02
+        stim = RampStimulus(v0=0.0, v1=vdd, start_ns=start_ns,
+                            slew_ps=slew_ps)
+        circuit2.drive(clk_pin, stim)
+        t_stop, dt = _window_ns(node, slew_ps, load_ff + 6.0, setup)
+        result = circuit2.transient(t_stop + start_ns, dt,
+                                    record=[far2[out_pin]],
+                                    initial=initial)
+        out_wave = result.voltage(far2[out_pin])
+        delay_ps, out_slew_ps = measure_delay_slew(
+            result.times_ns, out_wave, vdd, stim.mid_crossing_ns, q_rising)
+        leak_fj = (_leakage_mw(netlist, node) * 1.0e3) * (t_stop + start_ns)
+        e_int = result.supply_energy_fj - leak_fj
+        if q_rising:
+            e_int -= load_ff * vdd * vdd
+        energies.append(max(e_int, 0.0))
+        delays.append(delay_ps)
+        slews.append(out_slew_ps)
+    return (float(np.mean(delays)), float(np.mean(slews)),
+            float(np.mean(energies)))
+
+
+def characterize_cell(netlist: CellNetlist,
+                      parasitics: Optional[CellParasitics] = None,
+                      setup: Optional[CharacterizationSetup] = None,
+                      cell_type: Optional[str] = None
+                      ) -> CellCharacterization:
+    """Full-grid characterization of one cell.
+
+    ``cell_type`` defaults to the prefix of the cell name before "_X".
+    """
+    setup = setup or CharacterizationSetup()
+    if cell_type is None:
+        cell_type = netlist.cell_name.split("_X")[0]
+    sequential = bool(netlist.clock_pins)
+    in_pin, out_pin = preferred_arc(netlist, cell_type)
+    slews = list(setup.seq_slews_ps if sequential else setup.slews_ps)
+    loads = list(setup.loads_ff)
+
+    delay = np.zeros((len(slews), len(loads)))
+    oslew = np.zeros_like(delay)
+    energy = np.zeros_like(delay)
+    for i, slew_ps in enumerate(slews):
+        for j, load_ff in enumerate(loads):
+            if sequential:
+                d, s, e = _measure_sequential(
+                    netlist, parasitics, in_pin, out_pin, slew_ps, load_ff,
+                    setup)
+            else:
+                if not is_combinational(cell_type):
+                    raise CharacterizationError(
+                        f"cannot characterize cell type {cell_type!r}")
+                d, s, e = _measure_combinational(
+                    netlist, parasitics, cell_type, in_pin, out_pin,
+                    slew_ps, load_ff, setup)
+            delay[i, j] = d
+            oslew[i, j] = s
+            energy[i, j] = e
+
+    arc = TimingArc(
+        input_pin=in_pin,
+        output_pin=out_pin,
+        delay=NLDMTable(slews, loads, delay),
+        output_slew=NLDMTable(slews, loads, oslew),
+        internal_energy=NLDMTable(slews, loads, energy),
+    )
+    mid_delay = float(delay[len(slews) // 2, len(loads) // 2])
+    return CellCharacterization(
+        cell_name=netlist.cell_name,
+        arcs={out_pin: arc},
+        leakage_mw=_leakage_mw(netlist, setup.node),
+        setup_time_ps=(SETUP_FRACTION_OF_CLK_Q * mid_delay
+                       if sequential else 0.0),
+    )

@@ -1,0 +1,143 @@
+"""Liberty-style NLDM lookup tables.
+
+A non-linear delay model (NLDM) table indexes a quantity (cell delay,
+output slew, or per-transition internal energy) by input slew and output
+load capacitance, with bilinear interpolation inside the characterized grid
+and linear extrapolation at the edges — matching how Liberty data tables
+are evaluated by STA engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import CharacterizationError
+
+
+class NLDMTable:
+    """2D lookup table indexed by (input slew ps, load cap fF)."""
+
+    def __init__(self, slews_ps: Sequence[float], loads_ff: Sequence[float],
+                 values: Sequence[Sequence[float]]) -> None:
+        self.slews_ps = np.asarray(slews_ps, dtype=float)
+        self.loads_ff = np.asarray(loads_ff, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        if self.slews_ps.ndim != 1 or self.loads_ff.ndim != 1:
+            raise CharacterizationError("table axes must be 1-D")
+        if self.values.shape != (self.slews_ps.size, self.loads_ff.size):
+            raise CharacterizationError(
+                f"table shape {self.values.shape} does not match axes "
+                f"({self.slews_ps.size}, {self.loads_ff.size})")
+        if np.any(np.diff(self.slews_ps) <= 0) or np.any(np.diff(self.loads_ff) <= 0):
+            raise CharacterizationError("table axes must be strictly increasing")
+
+    def lookup(self, slew_ps: float, load_ff: float) -> float:
+        """Bilinear interpolation with linear edge extrapolation.
+
+        Degenerate single-point axes (one-corner characterizations) return
+        the nearest value along that axis.
+        """
+        si, sf = self._bracket(self.slews_ps, slew_ps)
+        li, lf = self._bracket(self.loads_ff, load_ff)
+        si1 = min(si + 1, self.slews_ps.size - 1)
+        li1 = min(li + 1, self.loads_ff.size - 1)
+        v00 = self.values[si, li]
+        v01 = self.values[si, li1]
+        v10 = self.values[si1, li]
+        v11 = self.values[si1, li1]
+        v0 = v00 + (v01 - v00) * lf
+        v1 = v10 + (v11 - v10) * lf
+        return float(v0 + (v1 - v0) * sf)
+
+    @staticmethod
+    def _bracket(axis: np.ndarray, x: float):
+        """Index of the lower bracket point and the fractional position.
+
+        The fraction may fall outside [0, 1] for out-of-grid queries, which
+        yields linear extrapolation.
+        """
+        if axis.size < 2:
+            return 0, 0.0
+        idx = int(np.searchsorted(axis, x)) - 1
+        idx = min(max(idx, 0), axis.size - 2)
+        span = axis[idx + 1] - axis[idx]
+        frac = (x - axis[idx]) / span
+        return idx, float(frac)
+
+    def scaled(self, value_scale: float, slew_axis_scale: float = 1.0,
+               load_axis_scale: float = 1.0) -> "NLDMTable":
+        """A new table with scaled values and (optionally) axes.
+
+        Used to derive the 7 nm library from the 45 nm one (Section S3).
+        """
+        return NLDMTable(
+            self.slews_ps * slew_axis_scale,
+            self.loads_ff * load_axis_scale,
+            self.values * value_scale,
+        )
+
+    def __repr__(self) -> str:
+        return (f"NLDMTable({self.slews_ps.size}x{self.loads_ff.size}, "
+                f"range [{self.values.min():.4g}, {self.values.max():.4g}])")
+
+
+@dataclass
+class TimingArc:
+    """One input-to-output timing/power arc of a cell."""
+
+    input_pin: str
+    output_pin: str
+    delay: NLDMTable            # ps
+    output_slew: NLDMTable      # ps
+    internal_energy: NLDMTable  # fJ per output transition
+
+    def scaled(self, delay_scale: float, slew_scale: float,
+               energy_scale: float, slew_axis_scale: float,
+               load_axis_scale: float) -> "TimingArc":
+        return TimingArc(
+            input_pin=self.input_pin,
+            output_pin=self.output_pin,
+            delay=self.delay.scaled(delay_scale, slew_axis_scale,
+                                    load_axis_scale),
+            output_slew=self.output_slew.scaled(slew_scale, slew_axis_scale,
+                                                load_axis_scale),
+            internal_energy=self.internal_energy.scaled(
+                energy_scale, slew_axis_scale, load_axis_scale),
+        )
+
+
+@dataclass
+class CellCharacterization:
+    """Characterized timing/power data for one cell.
+
+    ``arcs`` holds one representative (worst) arc per output pin for
+    combinational cells and the clock->Q arc for sequential cells; this is
+    the granularity the paper's analyses report at (Table 2).
+    """
+
+    cell_name: str
+    arcs: Dict[str, TimingArc] = field(default_factory=dict)  # by output pin
+    leakage_mw: float = 0.0
+    setup_time_ps: float = 0.0   # sequential only
+
+    def arc_for(self, output_pin: str) -> TimingArc:
+        try:
+            return self.arcs[output_pin]
+        except KeyError:
+            raise CharacterizationError(
+                f"cell {self.cell_name!r} has no arc for output "
+                f"{output_pin!r}")
+
+    def worst_arc(self) -> TimingArc:
+        """The arc with the largest mid-table delay."""
+        if not self.arcs:
+            raise CharacterizationError(
+                f"cell {self.cell_name!r} has no timing arcs")
+        def mid_delay(arc: TimingArc) -> float:
+            t = arc.delay
+            return float(t.values[t.values.shape[0] // 2,
+                                  t.values.shape[1] // 2])
+        return max(self.arcs.values(), key=mid_delay)

@@ -1,0 +1,89 @@
+"""Liberty (.lib) file writer.
+
+Emits the characterized library in standard Liberty syntax so the cells
+can be inspected with (or cross-checked against) conventional tooling:
+library header with units, per-cell area/leakage/pins, and the NLDM
+delay / transition / internal-power groups of each characterized arc.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.cells.library import CellLibrary, PinDirection
+
+
+def _format_values(table) -> str:
+    rows = []
+    for i in range(table.values.shape[0]):
+        row = ", ".join(f"{v:.5g}" for v in table.values[i])
+        rows.append(f'          "{row}"')
+    return ", \\\n".join(rows)
+
+
+def _format_axis(values) -> str:
+    return ", ".join(f"{v:.5g}" for v in values)
+
+
+def _write_table(stream: TextIO, group: str, table, template: str) -> None:
+    stream.write(f"        {group} ({template}) {{\n")
+    stream.write(f'          index_1 ("{_format_axis(table.slews_ps)}");\n')
+    stream.write(f'          index_2 ("{_format_axis(table.loads_ff)}");\n')
+    stream.write("          values ( \\\n")
+    stream.write(_format_values(table))
+    stream.write(" \\\n          );\n")
+    stream.write("        }\n")
+
+
+def write_liberty(library: CellLibrary, stream: TextIO) -> None:
+    """Write the whole library as a .lib file."""
+    stream.write(f"library ({library.name.replace('-', '_')}) {{\n")
+    stream.write('  delay_model : "table_lookup";\n')
+    stream.write('  time_unit : "1ps";\n')
+    stream.write('  capacitive_load_unit (1, ff);\n')
+    stream.write('  voltage_unit : "1V";\n')
+    stream.write('  leakage_power_unit : "1mW";\n')
+    stream.write(f"  nom_voltage : {library.node.vdd};\n")
+    stream.write("  lu_table_template (nldm_template) {\n")
+    stream.write("    variable_1 : input_net_transition;\n")
+    stream.write("    variable_2 : total_output_net_capacitance;\n")
+    stream.write("  }\n\n")
+
+    for cell in library:
+        char = cell.characterization
+        stream.write(f"  cell ({cell.name}) {{\n")
+        stream.write(f"    area : {cell.area_um2:.4f};\n")
+        if char is not None:
+            stream.write(
+                f"    cell_leakage_power : {char.leakage_mw:.6g};\n")
+        if cell.is_sequential:
+            stream.write('    ff (IQ, IQN) { clocked_on : "CK"; '
+                         'next_state : "D"; }\n')
+        for pin in cell.pins.values():
+            stream.write(f"    pin ({pin.name}) {{\n")
+            direction = ("input" if pin.direction == PinDirection.INPUT
+                         else "output")
+            stream.write(f"      direction : {direction};\n")
+            if pin.direction == PinDirection.INPUT:
+                stream.write(f"      capacitance : {pin.cap_ff:.5g};\n")
+                if pin.is_clock:
+                    stream.write("      clock : true;\n")
+            elif char is not None and pin.name in char.arcs:
+                arc = char.arcs[pin.name]
+                stream.write("      timing () {\n")
+                stream.write(
+                    f'        related_pin : "{arc.input_pin}";\n')
+                _write_table(stream, "cell_rise", arc.delay,
+                             "nldm_template")
+                _write_table(stream, "rise_transition", arc.output_slew,
+                             "nldm_template")
+                stream.write("      }\n")
+                stream.write("      internal_power () {\n")
+                stream.write(
+                    f'        related_pin : "{arc.input_pin}";\n')
+                _write_table(stream, "rise_power", arc.internal_energy,
+                             "nldm_template")
+                stream.write("      }\n")
+            stream.write("    }\n")
+        stream.write("  }\n\n")
+    stream.write("}\n")

@@ -1,0 +1,30 @@
+"""Gate-level circuits: netlist containers and benchmark generators.
+
+The five benchmark circuits of the paper (Table 12) — FPU, AES, LDPC, DES,
+M256 — are generated structurally: each generator reproduces the circuit's
+*connectivity character* (the property Section 4.3 shows drives the T-MI
+power benefit), parameterized by ``scale`` so tests and benches can run
+reduced instances while ``scale=1.0`` reproduces the paper-size netlists.
+"""
+
+from repro.circuits.netlist import (
+    Module,
+    Instance,
+    Net,
+    PIN_DRIVER,
+    PO_SINK,
+)
+from repro.circuits.stats import NetlistStats, compute_stats
+from repro.circuits.generators import generate_benchmark, BENCHMARKS
+
+__all__ = [
+    "Module",
+    "Instance",
+    "Net",
+    "PIN_DRIVER",
+    "PO_SINK",
+    "NetlistStats",
+    "compute_stats",
+    "generate_benchmark",
+    "BENCHMARKS",
+]

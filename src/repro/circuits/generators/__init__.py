@@ -1,0 +1,62 @@
+"""Benchmark circuit generators (Table 12 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import NetlistError
+from repro.circuits.netlist import Module
+from repro.circuits.generators.fpu import generate_fpu
+from repro.circuits.generators.aes import generate_aes
+from repro.circuits.generators.ldpc import generate_ldpc
+from repro.circuits.generators.des import generate_des
+from repro.circuits.generators.m256 import generate_m256
+
+BENCHMARKS: Dict[str, Callable[..., Module]] = {
+    "fpu": generate_fpu,
+    "aes": generate_aes,
+    "ldpc": generate_ldpc,
+    "des": generate_des,
+    "m256": generate_m256,
+}
+
+# Paper cell counts at 45 nm (Table 12), for scale bookkeeping.
+PAPER_CELL_COUNTS_45NM = {
+    "fpu": 9694,
+    "aes": 13891,
+    "ldpc": 38289,
+    "des": 51162,
+    "m256": 202877,
+}
+
+
+def generate_benchmark(name: str, scale: float = 1.0,
+                       seed: int = 0) -> Module:
+    """Generate one of the five paper benchmarks.
+
+    ``scale=1.0`` approximates the paper-size netlist; smaller values
+    shrink the design while preserving its connectivity character.  ``seed``
+    perturbs the default per-circuit seed (0 keeps the default).
+    """
+    key = name.lower()
+    if key not in BENCHMARKS:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise NetlistError(f"unknown benchmark {name!r} (known: {known})")
+    if scale <= 0.0 or scale > 1.0:
+        raise NetlistError("scale must be in (0, 1]")
+    generator = BENCHMARKS[key]
+    if seed:
+        return generator(scale=scale, seed=seed)
+    return generator(scale=scale)
+
+
+__all__ = [
+    "BENCHMARKS",
+    "PAPER_CELL_COUNTS_45NM",
+    "generate_benchmark",
+    "generate_fpu",
+    "generate_aes",
+    "generate_ldpc",
+    "generate_des",
+    "generate_m256",
+]

@@ -1,0 +1,282 @@
+"""Shared toolkit for benchmark netlist generators."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.circuits.netlist import Module
+
+# Input pin names per cell type, in positional order, and the output pin.
+_PINMAP: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "INV": (("A",), "ZN"),
+    "BUF": (("A",), "Z"),
+    "CLKBUF": (("A",), "Z"),
+    "NAND2": (("A", "B"), "ZN"),
+    "NAND3": (("A", "B", "C"), "ZN"),
+    "NAND4": (("A", "B", "C", "D"), "ZN"),
+    "NOR2": (("A", "B"), "ZN"),
+    "NOR3": (("A", "B", "C"), "ZN"),
+    "NOR4": (("A", "B", "C", "D"), "ZN"),
+    "AND2": (("A1", "A2"), "Z"),
+    "OR2": (("A1", "A2"), "Z"),
+    "AOI21": (("A1", "A2", "B"), "ZN"),
+    "OAI21": (("A1", "A2", "B"), "ZN"),
+    "AOI22": (("A1", "A2", "B1", "B2"), "ZN"),
+    "OAI22": (("A1", "A2", "B1", "B2"), "ZN"),
+    "XOR2": (("A", "B"), "Z"),
+    "XNOR2": (("A", "B"), "ZN"),
+    "MUX2": (("A", "B", "S"), "Z"),
+    "TBUF": (("A", "EN"), "Z"),
+}
+
+# Random-logic gate mix (weights loosely match synthesized control logic).
+RANDOM_GATE_MIX = [
+    ("NAND2", 0.30), ("NOR2", 0.18), ("INV", 0.10), ("AOI21", 0.10),
+    ("OAI21", 0.10), ("XOR2", 0.08), ("NAND3", 0.08), ("XNOR2", 0.06),
+]
+
+
+class CircuitBuilder:
+    """Convenience wrapper for building gate-level netlists.
+
+    All gates are emitted at X1 strength; synthesis sizes them afterwards.
+    A single clock net is created lazily when the first flop appears.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.module = Module(name)
+        self._clock: Optional[int] = None
+        self._wire_counter = 0
+        self._gate_counter = 0
+
+    # -- nets -------------------------------------------------------------
+
+    def wire(self, name: Optional[str] = None) -> int:
+        if name is None:
+            self._wire_counter += 1
+            name = f"w{self._wire_counter}"
+        return self.module.add_net(name)
+
+    def input(self, name: str) -> int:
+        net = self.module.add_net(name)
+        self.module.mark_primary_input(net)
+        return net
+
+    def inputs(self, prefix: str, count: int) -> List[int]:
+        return [self.input(f"{prefix}[{i}]") for i in range(count)]
+
+    def output(self, net: int) -> None:
+        self.module.mark_primary_output(net)
+
+    @property
+    def clock(self) -> int:
+        if self._clock is None:
+            self._clock = self.module.add_net("clk")
+            self.module.mark_primary_input(self._clock)
+            self.module.set_clock(self._clock)
+        return self._clock
+
+    # -- gates ------------------------------------------------------------
+
+    def gate(self, cell_type: str, inputs: Sequence[int],
+             out: Optional[int] = None) -> int:
+        """Instantiate a single-output gate; returns the output net."""
+        if cell_type not in _PINMAP:
+            raise NetlistError(f"no pin map for cell type {cell_type!r}")
+        pins, out_pin = _PINMAP[cell_type]
+        if len(inputs) != len(pins):
+            raise NetlistError(
+                f"{cell_type} expects {len(pins)} inputs, got {len(inputs)}")
+        self._gate_counter += 1
+        inst = self.module.add_instance(f"g{self._gate_counter}",
+                                        f"{cell_type}_X1")
+        for pin, net in zip(pins, inputs):
+            self.module.connect(inst, pin, net)
+        if out is None:
+            out = self.wire()
+        self.module.connect(inst, out_pin, out, is_driver=True)
+        return out
+
+    def full_adder(self, a: int, b: int, ci: int) -> Tuple[int, int]:
+        """(sum, carry) from an FA cell."""
+        self._gate_counter += 1
+        inst = self.module.add_instance(f"g{self._gate_counter}", "FA_X1")
+        for pin, net in zip(("A", "B", "CI"), (a, b, ci)):
+            self.module.connect(inst, pin, net)
+        s = self.wire()
+        co = self.wire()
+        self.module.connect(inst, "S", s, is_driver=True)
+        self.module.connect(inst, "CO", co, is_driver=True)
+        return s, co
+
+    def half_adder(self, a: int, b: int) -> Tuple[int, int]:
+        self._gate_counter += 1
+        inst = self.module.add_instance(f"g{self._gate_counter}", "HA_X1")
+        for pin, net in zip(("A", "B"), (a, b)):
+            self.module.connect(inst, pin, net)
+        s = self.wire()
+        co = self.wire()
+        self.module.connect(inst, "S", s, is_driver=True)
+        self.module.connect(inst, "CO", co, is_driver=True)
+        return s, co
+
+    def dff(self, d: int, use_qn: bool = False) -> int:
+        """Register a net; returns Q (or QN)."""
+        self._gate_counter += 1
+        inst = self.module.add_instance(f"g{self._gate_counter}", "DFF_X1")
+        self.module.connect(inst, "D", d)
+        self.module.connect(inst, "CK", self.clock)
+        q = self.wire()
+        self.module.connect(inst, "Q" if not use_qn else "QN", q,
+                            is_driver=True)
+        return q
+
+    def register_bus(self, nets: Sequence[int]) -> List[int]:
+        return [self.dff(n) for n in nets]
+
+    # -- composite structures ----------------------------------------------
+
+    def reduce_tree(self, cell_type: str, nets: Sequence[int]) -> int:
+        """Balanced binary reduction tree (XOR2/AND2/OR2/...)."""
+        level = list(nets)
+        if not level:
+            raise NetlistError("cannot reduce an empty net list")
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.gate(cell_type, [level[i], level[i + 1]]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def xor_tree(self, nets: Sequence[int]) -> int:
+        return self.reduce_tree("XOR2", nets)
+
+    def random_logic(self, inputs: Sequence[int], n_outputs: int,
+                     n_gates: int, rng: random.Random,
+                     locality: int = 6, depth: int = 12) -> List[int]:
+        """A random combinational block (synthesized-control-logic stand-in).
+
+        Gates are arranged in ``depth`` levels (flattened random logic such
+        as an S-box has bounded logic depth, not a serial chain); each gate
+        draws its operands mostly from the previous level — the tight local
+        clusters Section 4.3 describes — with an occasional reach-back to
+        an earlier level.  Returns ``n_outputs`` signals from the last
+        level.
+        """
+        if not inputs:
+            raise NetlistError("random logic needs at least one input")
+        levels: List[List[int]] = [list(inputs)]
+        remaining = n_gates
+        n_levels = max(1, depth)
+        for lvl in range(n_levels):
+            level_gates = max(1, remaining // (n_levels - lvl))
+            remaining -= level_gates
+            prev = levels[-1]
+            earlier = [net for level in levels[:-1] for net in level]
+            new_level: List[int] = []
+            for _ in range(level_gates):
+                r = rng.random()
+                acc = 0.0
+                cell_type = RANDOM_GATE_MIX[-1][0]
+                for name, w in RANDOM_GATE_MIX:
+                    acc += w
+                    if r < acc:
+                        cell_type = name
+                        break
+                n_in = len(_PINMAP[cell_type][0])
+                ops = []
+                for _k in range(n_in):
+                    if earlier and rng.random() < 0.15:
+                        ops.append(earlier[rng.randrange(len(earlier))])
+                    else:
+                        ops.append(prev[rng.randrange(len(prev))])
+                new_level.append(self.gate(cell_type, ops))
+            levels.append(new_level)
+            if remaining <= 0:
+                break
+        pool = [net for level in levels[1:] for net in level] or list(inputs)
+        if n_outputs > len(pool):
+            raise NetlistError("more outputs requested than signals exist")
+        return pool[-n_outputs:]
+
+    def _ripple(self, xs: Sequence[int],
+                ys: Sequence[Optional[int]],
+                carry: Optional[int]) -> Tuple[List[int], Optional[int]]:
+        """Ripple adder over paired bits; ``ys`` entries may be None (0).
+
+        Returns (sums, carry-out); the carry-out is None when no carry was
+        ever generated (all-None ys and no carry-in).
+        """
+        sums: List[int] = []
+        for x, y in zip(xs, ys):
+            if y is None:
+                if carry is None:
+                    sums.append(x)
+                else:
+                    sums.append(self.gate("XOR2", [x, carry]))
+                    carry = self.gate("AND2", [x, carry])
+            elif carry is None:
+                s, carry = self.half_adder(x, y)
+                sums.append(s)
+            else:
+                s, carry = self.full_adder(x, y, carry)
+                sums.append(s)
+        return sums, carry
+
+    def carry_skip_adder(self, xs: Sequence[int], ys: Sequence[int],
+                         group: int = 8) -> Tuple[List[int], int]:
+        """Carry-skip adder: logic depth ~ group + 2 * n/group, not n.
+
+        The inter-group carry travels a dedicated skip chain (2 gates per
+        group: ``c_next = g0 OR (P AND c_in)`` with the group generate
+        ``g0`` from a carry-in-0 ripple and the group propagate ``P`` from
+        an AND tree of the per-bit XORs), so group i's sums ripple from a
+        carry that arrived after ~2i gates instead of ~i*group.
+        Returns (sums, carry-out).
+        """
+        n = min(len(xs), len(ys))
+        if n == 0:
+            raise NetlistError("adder needs at least one bit")
+        sums: List[int] = []
+        carry: Optional[int] = None
+        for g0 in range(0, n, group):
+            gx = [xs[i] for i in range(g0, min(g0 + group, n))]
+            gy = [ys[i] for i in range(g0, min(g0 + group, n))]
+            if carry is None:
+                group_sums, carry = self._ripple(gx, gy, None)
+                sums.extend(group_sums)
+                continue
+            # Group generate: carry-out with carry-in 0 (sums discarded —
+            # the speculative half of the skip structure).
+            _spec, gen = self._ripple(gx, gy, None)
+            # Group propagate: all bit positions propagate (a None y bit
+            # propagates exactly when x is 1).
+            props = [self.gate("XOR2", [x, y]) if y is not None else x
+                     for x, y in zip(gx, gy)]
+            prop = self.reduce_tree("AND2", props)
+            # Actual sums ripple from the skip-chain carry.
+            group_sums, _local = self._ripple(gx, gy, carry)
+            sums.extend(group_sums)
+            # Skip: c_next = gen OR (prop AND carry).
+            if gen is None:
+                carry = self.gate("AND2", [prop, carry])
+            else:
+                carry = self.gate(
+                    "INV", [self.gate("AOI21", [prop, carry, gen])])
+        return sums, carry
+
+    # -- finish -------------------------------------------------------------
+
+    def finish(self) -> Module:
+        """Validate and return the module."""
+        # Terminate floating nets (no sinks) as primary outputs so the
+        # netlist is well-formed even for truncated scaled-down blocks.
+        for net in self.module.nets:
+            if not net.sinks and not net.is_clock:
+                self.module.mark_primary_output(net.index)
+        self.module.validate()
+        return self.module

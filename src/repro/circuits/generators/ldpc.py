@@ -1,0 +1,95 @@
+"""LDPC: low-density parity-check decoder for IEEE 802.3an (Table 12).
+
+One flooding iteration of a bit-flip decoder for the (2048, 1723) RS-LDPC
+code: 2048 variable nodes (degree 6) and 384 check nodes (degree 32).
+Check nodes are 32-input XOR trees; variable nodes count their failed
+checks with a small adder/compare block and register the updated bit.
+
+The structural signature the paper leans on: the variable/check bipartite
+graph is essentially *random*, so after placement the inter-node nets are
+long wires criss-crossing the whole core — the wire-capacitance-dominated
+circuit that profits most from T-MI (32.1 % total power reduction at
+45 nm) and that suffers routing congestion (placement utilization lowered
+to ~33 % in the paper, Fig. 3(a)).
+
+``scale`` shrinks both node populations proportionally; degrees stay at
+6/32 (check degree follows n_var * 6 / n_chk).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.circuits.netlist import Module
+from repro.circuits.generators.common import CircuitBuilder
+
+FULL_VARIABLES = 2048
+FULL_CHECKS = 384
+VAR_DEGREE = 6
+
+
+def _edge_lists(n_var: int, n_chk: int, rng: random.Random):
+    """Random regular-ish bipartite graph: per-check variable lists."""
+    stubs = [v for v in range(n_var) for _ in range(VAR_DEGREE)]
+    rng.shuffle(stubs)
+    per_check = [[] for _ in range(n_chk)]
+    for i, v in enumerate(stubs):
+        per_check[i % n_chk].append(v)
+    return per_check
+
+
+def generate_ldpc(scale: float = 1.0, seed: int = 8023) -> Module:
+    """Generate the LDPC decoder at the given scale."""
+    n_var = max(64, int(round(FULL_VARIABLES * scale)))
+    n_chk = max(12, int(round(FULL_CHECKS * scale)))
+    b = CircuitBuilder(f"ldpc_v{n_var}")
+    rng = random.Random(seed)
+
+    # Variable-node state registers, fed by channel inputs on reset (the
+    # mux select models the load/iterate control).
+    load = b.input("load")
+    channel = b.inputs("ch", n_var)
+    var_q: List[int] = []
+    var_d_updates: List[int] = [None] * n_var
+    # Create the state flops with a placeholder D; we wire the update
+    # logic below, so build D nets first as wires and connect at the end.
+    per_check = _edge_lists(n_var, n_chk, rng)
+
+    # First pass: variable-node registers (driven later via mux).
+    mux_outs = []
+    for v in range(n_var):
+        mux_out = b.wire(f"var_d[{v}]")
+        mux_outs.append(mux_out)
+        var_q.append(b.dff(mux_out))
+
+    # Check nodes: XOR tree over their connected variables.
+    check_out = []
+    for c in range(n_chk):
+        members = per_check[c] or [rng.randrange(n_var)]
+        check_out.append(b.xor_tree([var_q[v] for v in members]))
+
+    # Variable nodes: count failed checks among the VAR_DEGREE checks this
+    # variable participates in; flip the bit if the majority failed.
+    var_checks = [[] for _ in range(n_var)]
+    for c, members in enumerate(per_check):
+        for v in members:
+            var_checks[v].append(c)
+    for v in range(n_var):
+        checks = var_checks[v][:VAR_DEGREE]
+        if not checks:
+            checks = [rng.randrange(n_chk)]
+        signals = [check_out[c] for c in checks]
+        # Majority-of-degree via pairwise AND/OR reduction (a compact
+        # approximate majority, ~10 gates for degree 6).
+        pairs_and = [b.gate("AND2", [signals[i], signals[(i + 1) % len(signals)]])
+                     for i in range(len(signals))]
+        majority = b.reduce_tree("OR2", pairs_and)
+        flipped = b.gate("XOR2", [var_q[v], majority])
+        # Load mux: channel value on load, update otherwise.
+        b.gate("MUX2", [flipped, channel[v], load], out=mux_outs[v])
+
+    # Parity outputs.
+    for c in range(0, n_chk, max(1, n_chk // 64)):
+        b.output(b.dff(check_out[c]))
+    return b.finish()

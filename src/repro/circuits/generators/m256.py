@@ -1,0 +1,83 @@
+"""M256: partial-sum-add based 256-bit integer multiplier (Table 12).
+
+A carry-save array multiplier: AND gates form partial products, FA rows
+accumulate them, a final carry-propagate row resolves the product, with
+registered inputs and outputs and pipeline registers every 64 rows.  The
+structure is highly regular with mostly nearest-neighbour connectivity —
+the paper's largest benchmark (~203 k cells at full width).
+
+``scale`` shrinks the operand width as ``n = 256 * sqrt(scale)``, keeping
+the array character while reducing cell count quadratically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.circuits.netlist import Module
+from repro.circuits.generators.common import CircuitBuilder
+
+FULL_WIDTH = 256
+PIPELINE_EVERY_ROWS = 8
+
+
+def generate_m256(scale: float = 1.0, seed: int = 2013) -> Module:
+    """Generate the multiplier at the given scale."""
+    n = max(8, int(round(FULL_WIDTH * math.sqrt(scale))))
+    b = CircuitBuilder(f"m256_n{n}")
+    rng = random.Random(seed)
+
+    a_in = b.inputs("a", n)
+    x_in = b.inputs("x", n)
+    a = b.register_bus(a_in)
+    x = b.register_bus(x_in)
+
+    # Row 0: partial product only.
+    acc = [b.gate("AND2", [a[j], x[0]]) for j in range(n)]
+    carries = [None] * n
+    rows_since_pipe = 0
+    for i in range(1, n):
+        pp = [b.gate("AND2", [a[j], x[i]]) for j in range(n)]
+        new_acc = []
+        new_carries = []
+        for j in range(n):
+            addend = acc[j + 1] if j + 1 < n else None
+            if addend is None:
+                # Top of the column: just the partial product.
+                if carries[j] is not None:
+                    s, co = b.half_adder(pp[j], carries[j])
+                    new_acc.append(s)
+                    new_carries.append(co)
+                else:
+                    new_acc.append(pp[j])
+                    new_carries.append(None)
+                continue
+            if carries[j] is not None:
+                s, co = b.full_adder(pp[j], addend, carries[j])
+            else:
+                s, co = b.half_adder(pp[j], addend)
+            new_acc.append(s)
+            new_carries.append(co)
+        # acc[0] of this row is a final product bit; keep it registered out.
+        b.output(b.dff(acc[0]))
+        acc = new_acc
+        carries = new_carries
+        rows_since_pipe += 1
+        if rows_since_pipe >= PIPELINE_EVERY_ROWS:
+            acc = b.register_bus(acc)
+            carries = [b.dff(c) if c is not None else None for c in carries]
+            # The multiplicand and remaining multiplier bits travel with
+            # the pipeline wave.
+            a = b.register_bus(a)
+            x = x[:i + 1] + b.register_bus(x[i + 1:])
+            rows_since_pipe = 0
+
+    # Final carry-propagate adder: carry-skip structure keeps the depth
+    # bounded (group + 2 * n/group instead of n).
+    final, carry = b.carry_skip_adder(acc, carries, group=8)
+    for netv in b.register_bus(final):
+        b.output(netv)
+    if carry is not None:
+        b.output(b.dff(carry))
+    return b.finish()

@@ -1,0 +1,59 @@
+"""Netlist statistics (Table 12 columns and friends)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.circuits.netlist import Module
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Summary of a gate-level netlist."""
+
+    name: str
+    n_cells: int
+    n_nets: int
+    n_sequential: int
+    n_buffers: int
+    cell_area_um2: float
+    average_fanout: float
+    cells_by_type: Dict[str, int]
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "circuit": self.name,
+            "#cells": self.n_cells,
+            "cell area (um2)": round(self.cell_area_um2, 1),
+            "#nets": self.n_nets,
+            "avg fanout": round(self.average_fanout, 2),
+        }
+
+
+def compute_stats(module: Module, library) -> NetlistStats:
+    """Compute summary statistics against a library (for cell areas)."""
+    area = 0.0
+    n_seq = 0
+    n_buf = 0
+    by_type: Dict[str, int] = {}
+    for inst in module.instances:
+        cell = library.cell(inst.cell_name)
+        area += cell.area_um2
+        if cell.is_sequential:
+            n_seq += 1
+        if cell.cell_type in ("BUF", "CLKBUF") or (
+                cell.cell_type == "INV" and inst.name.startswith(
+                    ("optbuf_", "synbuf_"))):
+            n_buf += 1
+        by_type[cell.cell_type] = by_type.get(cell.cell_type, 0) + 1
+    return NetlistStats(
+        name=module.name,
+        n_cells=module.n_cells,
+        n_nets=module.n_nets,
+        n_sequential=n_seq,
+        n_buffers=n_buf,
+        cell_area_um2=area,
+        average_fanout=module.average_fanout(),
+        cells_by_type=by_type,
+    )

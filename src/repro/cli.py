@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+compare CIRCUIT        iso-performance 2D vs T-MI comparison (Table 4 row)
+experiment ID          regenerate one paper table/figure (e.g. table4, fig3)
+cells                  list the characterized library
+export-lib PATH        write the library as a Liberty .lib file
+export-layout CIRCUIT PATH    run the flow, write a JSON layout summary
+export-verilog CIRCUIT PATH   write a benchmark netlist as Verilog
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from repro.flow.reports import format_table
+
+# Experiment id -> driver module name.
+EXPERIMENTS = {
+    "table1": "table01_cell_rc",
+    "table2": "table02_cell_timing_power",
+    "table3": "table03_metal_stack",
+    "table4": "table04_45nm_summary",
+    "table5": "table05_prior_work",
+    "table6": "table06_node_setup",
+    "table7": "table07_7nm_summary",
+    "table8": "table08_pin_cap",
+    "table9": "table09_metal_resistivity",
+    "table10": "table10_itrs",
+    "table11": "table11_7nm_cells",
+    "table12": "table12_synthesis",
+    "table13": "table13_45nm_detail",
+    "table14": "table14_7nm_detail",
+    "table15": "table15_wlm_impact",
+    "table16": "table16_wire_pin_breakdown",
+    "table17": "table17_metal_stack_impact",
+    "fig3": "fig03_routing_snapshots",
+    "fig4": "fig04_clock_sweep",
+    "fig5": "fig05_cell_layouts",
+    "fig6": "fig06_wlm_curves",
+    "fig7": "fig07_blockage_impact",
+    "fig8": "fig08_aes_snapshots",
+    "fig10": "fig10_layer_usage",
+    "fig11": "fig11_switching_activity",
+}
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.flow.compare import run_iso_performance_comparison
+
+    cmp = run_iso_performance_comparison(
+        args.circuit,
+        node_name=args.node,
+        scale=args.scale,
+        target_clock_ns=args.clock,
+    )
+    print(format_table(cmp.detail_rows(),
+                       f"{args.circuit.upper()} at {args.node}, "
+                       f"clock {cmp.clock_ns:.2f} ns"))
+    print()
+    print(format_table([cmp.summary_row()], "T-MI vs 2D (% difference)"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    key = args.id.lower().replace(" ", "")
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(f"unknown experiment {args.id!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    module = importlib.import_module(
+        f"repro.experiments.{EXPERIMENTS[key]}")
+    rows = module.run()
+    print(format_table(rows, f"{args.id} — measured"))
+    print()
+    print(format_table(module.reference(), f"{args.id} — paper"))
+    return 0
+
+
+def _cmd_cells(args: argparse.Namespace) -> int:
+    from repro.flow.design_flow import library_for
+
+    library = library_for(args.node, args.style == "tmi")
+    rows = []
+    for cell in library:
+        rows.append({
+            "cell": cell.name,
+            "area (um2)": round(cell.area_um2, 3),
+            "input cap (fF)": round(cell.max_input_cap_ff(), 3),
+            "delay@med (ps)": round(cell.delay_ps(37.5, 3.2), 1),
+            "leakage (nW)": round(cell.leakage_mw * 1e6, 2),
+        })
+    print(format_table(rows, f"{library.name} ({len(library)} cells)"))
+    return 0
+
+
+def _cmd_export_lib(args: argparse.Namespace) -> int:
+    from repro.characterize.liberty_writer import write_liberty
+    from repro.flow.design_flow import library_for
+
+    library = library_for(args.node, args.style == "tmi")
+    with open(args.path, "w") as stream:
+        write_liberty(library, stream)
+    print(f"wrote {len(library)} cells to {args.path}")
+    return 0
+
+
+def _cmd_export_layout(args: argparse.Namespace) -> int:
+    from repro.flow.design_flow import FlowConfig, run_flow
+    from repro.flow.export import write_layout_json
+
+    config = FlowConfig(circuit=args.circuit, node_name=args.node,
+                        is_3d=args.style == "tmi", scale=args.scale)
+    result = run_flow(config)
+    with open(args.path, "w") as stream:
+        write_layout_json(result, stream)
+    print(f"wrote layout summary to {args.path} "
+          f"(power {result.power.total_mw:.4g} mW, "
+          f"WNS {result.wns_ps:+.0f} ps)")
+    return 0
+
+
+def _cmd_export_verilog(args: argparse.Namespace) -> int:
+    from repro.circuits.generators import generate_benchmark
+    from repro.circuits.verilog import write_verilog
+    from repro.flow.design_flow import library_for
+
+    library = library_for(args.node, False)
+    module = generate_benchmark(args.circuit, scale=args.scale)
+    with open(args.path, "w") as stream:
+        write_verilog(module, library, stream)
+    print(f"wrote {module.n_cells} cells / {module.n_nets} nets "
+          f"to {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC'13 transistor-level monolithic 3D power study, "
+                    "reproduced in Python",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="iso-performance 2D vs T-MI run")
+    p.add_argument("circuit",
+                   choices=["fpu", "aes", "ldpc", "des", "m256"])
+    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--clock", type=float, default=None,
+                   help="target clock in ns (default: auto-closed)")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("experiment",
+                       help="regenerate a paper table/figure")
+    p.add_argument("id", help="e.g. table4, fig3")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("cells", help="list the characterized library")
+    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--style", default="2d", choices=["2d", "tmi"])
+    p.set_defaults(func=_cmd_cells)
+
+    p = sub.add_parser("export-lib", help="write a Liberty .lib file")
+    p.add_argument("path")
+    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--style", default="2d", choices=["2d", "tmi"])
+    p.set_defaults(func=_cmd_export_lib)
+
+    p = sub.add_parser("export-layout",
+                       help="run the flow and write a JSON layout summary")
+    p.add_argument("circuit",
+                   choices=["fpu", "aes", "ldpc", "des", "m256"])
+    p.add_argument("path")
+    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--style", default="2d", choices=["2d", "tmi"])
+    p.add_argument("--scale", type=float, default=0.1)
+    p.set_defaults(func=_cmd_export_layout)
+
+    p = sub.add_parser("export-verilog",
+                       help="write a benchmark netlist as Verilog")
+    p.add_argument("circuit",
+                   choices=["fpu", "aes", "ldpc", "des", "m256"])
+    p.add_argument("path")
+    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--scale", type=float, default=0.1)
+    p.set_defaults(func=_cmd_export_verilog)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TechnologyError(ReproError):
+    """Invalid or inconsistent technology configuration."""
+
+
+class LibraryError(ReproError):
+    """Problem with a cell library (unknown cell, missing pin, bad table)."""
+
+
+class NetlistError(ReproError):
+    """Malformed gate-level or transistor-level netlist."""
+
+
+class ExtractionError(ReproError):
+    """Parasitic extraction failure."""
+
+
+class CharacterizationError(ReproError):
+    """Cell characterization (simulation) failure."""
+
+
+class SynthesisError(ReproError):
+    """Synthesis could not produce a legal netlist."""
+
+
+class PlacementError(ReproError):
+    """Placement failure (e.g. cells do not fit the core area)."""
+
+
+class RoutingError(ReproError):
+    """Routing failure (e.g. unroutable congestion)."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis failure."""
+
+
+class PowerError(ReproError):
+    """Power analysis failure."""
+
+
+class FlowError(ReproError):
+    """End-to-end design-flow failure (e.g. timing cannot be closed)."""
+
+
+class SimulationError(CharacterizationError):
+    """Transient circuit simulation did not converge or is ill-formed."""

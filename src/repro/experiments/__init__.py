@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver exposes ``run(...)`` returning structured rows plus a
+``reference()`` with the paper's published values, so benches and the
+EXPERIMENTS.md generator can print paper-vs-measured side by side.
+
+Flow runs are cached per process (:mod:`repro.experiments.runner`), so a
+bench session that touches several tables does not re-run shared layouts.
+"""
+
+from repro.experiments.runner import (
+    cached_comparison,
+    cached_flow,
+    DEFAULT_SCALES,
+)
+
+__all__ = ["cached_comparison", "cached_flow", "DEFAULT_SCALES"]

@@ -1,0 +1,53 @@
+"""Fig. 11 (supplement): power vs switching activity factor.
+
+Total power scales with the sequential-output activity factor, but the
+T-MI power *reduction rate* barely moves — the paper's conclusion that
+the benefit is activity-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import cached_comparison
+
+ACTIVITIES = (0.1, 0.2, 0.3, 0.4)
+
+
+def run(circuit: str = "m256",
+        scale: Optional[float] = None) -> List[Dict[str, object]]:
+    rows = []
+    for activity in ACTIVITIES:
+        cmp = cached_comparison(circuit, scale=scale,
+                                seq_activity=activity)
+        rows.append({
+            "circuit": circuit.upper(),
+            "activity": activity,
+            "total 2D (mW)": round(cmp.result_2d.power.total_mw, 4),
+            "total 3D (mW)": round(cmp.result_3d.power.total_mw, 4),
+            "reduction (%)": round(-cmp.power_diff("total_mw"), 1),
+        })
+    return rows
+
+
+def reference() -> List[Dict[str, object]]:
+    """Fig. 11's claims, not absolute values."""
+    return [
+        {"property": "total power increases with activity"},
+        {"property": "reduction rate approximately constant (+/- a few %)"},
+    ]
+
+
+def power_increases_with_activity(
+        rows: Optional[List[Dict[str, object]]] = None) -> bool:
+    rows = rows if rows is not None else run()
+    powers = [r["total 2D (mW)"] for r in rows]
+    return all(b > a for a, b in zip(powers, powers[1:]))
+
+
+def reduction_rate_stable(
+        rows: Optional[List[Dict[str, object]]] = None,
+        tolerance: float = 6.0) -> bool:
+    rows = rows if rows is not None else run()
+    reductions = [r["reduction (%)"] for r in rows]
+    return max(reductions) - min(reductions) <= tolerance

@@ -1,0 +1,61 @@
+"""Cached execution of flow runs for the experiment drivers.
+
+A bench session touches many tables that share the same underlying layout
+runs (e.g. Tables 4, 13, 16 and Fig. 3 all need the 45 nm comparisons).
+Results are memoized in-process, keyed by the full flow configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Dict, Optional, Tuple
+
+from repro.flow.compare import ComparisonResult, run_iso_performance_comparison
+from repro.flow.design_flow import FlowConfig, LayoutResult, run_flow
+
+# Default benchmark scales for experiment runs: the largest sizes that keep
+# a full bench session in minutes.  Recorded in EXPERIMENTS.md.
+DEFAULT_SCALES: Dict[str, float] = {
+    "fpu": 0.5,
+    "aes": 0.25,
+    "ldpc": 0.12,
+    "des": 0.15,
+    "m256": 0.06,
+}
+
+_COMPARISON_CACHE: Dict[Tuple, ComparisonResult] = {}
+_FLOW_CACHE: Dict[Tuple, LayoutResult] = {}
+
+
+def default_scale(circuit: str) -> float:
+    return DEFAULT_SCALES.get(circuit.lower(), 0.1)
+
+
+def _key(circuit: str, node_name: str, scale: float, kwargs: dict) -> Tuple:
+    return (circuit, node_name, scale,
+            tuple(sorted(kwargs.items())))
+
+
+def cached_comparison(circuit: str, node_name: str = "45nm",
+                      scale: Optional[float] = None,
+                      **kwargs) -> ComparisonResult:
+    """Run (or fetch) an iso-performance 2D vs T-MI comparison."""
+    scale = scale if scale is not None else default_scale(circuit)
+    key = _key(circuit, node_name, scale, kwargs)
+    if key not in _COMPARISON_CACHE:
+        _COMPARISON_CACHE[key] = run_iso_performance_comparison(
+            circuit, node_name=node_name, scale=scale, **kwargs)
+    return _COMPARISON_CACHE[key]
+
+
+def cached_flow(config: FlowConfig) -> LayoutResult:
+    """Run (or fetch) a single flow configuration."""
+    key = tuple(sorted(asdict(config).items()))
+    if key not in _FLOW_CACHE:
+        _FLOW_CACHE[key] = run_flow(config)
+    return _FLOW_CACHE[key]
+
+
+def clear_caches() -> None:
+    _COMPARISON_CACHE.clear()
+    _FLOW_CACHE.clear()

@@ -1,0 +1,52 @@
+"""Table 1: cell-internal parasitic RC (2D vs 3D vs 3D-c)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cells.netlist import build_cell_netlist
+from repro.cells.geometry import build_cell_geometry_2d
+from repro.cells.folding import fold_cell_geometry
+from repro.extraction.rc import ExtractionMode, extract_cell
+from repro.tech.node import NODE_45NM
+
+CELLS = ("INV", "NAND2", "MUX2", "DFF")
+
+# Paper's Table 1: cell -> (R 2D, R 3D, R 3D-c, C 2D, C 3D, C 3D-c).
+PAPER = {
+    "INV": (0.186, 0.107, 0.107, 0.363, 0.368, 0.349),
+    "NAND2": (0.372, 0.237, 0.237, 0.561, 0.586, 0.547),
+    "MUX2": (1.133, 0.975, 0.975, 1.823, 1.938, 1.796),
+    "DFF": (2.876, 3.045, 3.045, 4.108, 5.101, 4.740),
+}
+
+
+def run() -> List[Dict[str, object]]:
+    """Measured Table 1 rows."""
+    rows = []
+    for cell_type in CELLS:
+        netlist = build_cell_netlist(cell_type, 1.0, NODE_45NM)
+        g2 = build_cell_geometry_2d(netlist, NODE_45NM)
+        g3 = fold_cell_geometry(netlist, NODE_45NM)
+        p2 = extract_cell(g2, ExtractionMode.FLAT)
+        p3 = extract_cell(g3, ExtractionMode.DIELECTRIC)
+        p3c = extract_cell(g3, ExtractionMode.CONDUCTOR)
+        rows.append({
+            "cell": cell_type,
+            "R 2D (kohm)": round(p2.total_r_kohm, 3),
+            "R 3D": round(p3.total_r_kohm, 3),
+            "R 3D-c": round(p3c.total_r_kohm, 3),
+            "C 2D (fF)": round(p2.total_c_ff, 3),
+            "C 3D": round(p3.total_c_ff, 3),
+            "C 3D-c": round(p3c.total_c_ff, 3),
+        })
+    return rows
+
+
+def reference() -> List[Dict[str, object]]:
+    """The paper's Table 1 rows."""
+    return [
+        {"cell": c, "R 2D (kohm)": v[0], "R 3D": v[1], "R 3D-c": v[2],
+         "C 2D (fF)": v[3], "C 3D": v[4], "C 3D-c": v[5]}
+        for c, v in PAPER.items()
+    ]

@@ -1,0 +1,96 @@
+"""Table 2: cell delay and internal power at fast/medium/slow corners.
+
+Runs the full MNA transient characterization for the four study cells in
+both styles (the paper's ELC + SPICE flow).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cells.netlist import build_cell_netlist
+from repro.cells.geometry import build_cell_geometry_2d
+from repro.cells.folding import fold_cell_geometry
+from repro.extraction.rc import ExtractionMode, extract_cell
+from repro.characterize.charlib import (
+    CharacterizationSetup,
+    characterize_cell,
+)
+from repro.tech.node import NODE_45NM
+
+CELLS = ("INV", "NAND2", "MUX2", "DFF")
+CORNERS = (("fast", 7.5, 5.0, 0.8), ("medium", 37.5, 28.1, 3.2),
+           ("slow", 150.0, 112.5, 12.8))
+
+# Paper: cell -> corner -> (delay 2D, delay 3D, power 2D, power 3D).
+PAPER: Dict[str, Dict[str, Tuple[float, float, float, float]]] = {
+    "INV": {"fast": (17.2, 16.9, 0.383, 0.351),
+            "medium": (51.1, 50.8, 0.362, 0.343),
+            "slow": (188.3, 188.0, 0.449, 0.431)},
+    "NAND2": {"fast": (21.2, 20.9, 0.616, 0.583),
+              "medium": (56.2, 55.9, 0.604, 0.581),
+              "slow": (195.9, 195.5, 0.698, 0.675)},
+    "MUX2": {"fast": (59.8, 58.2, 2.113, 2.060),
+             "medium": (97.0, 95.3, 2.239, 2.168),
+             "slow": (215.1, 212.5, 2.555, 2.487)},
+    "DFF": {"fast": (108.8, 113.4, 6.341, 6.735),
+            "medium": (142.6, 147.0, 6.358, 6.756),
+            "slow": (237.4, 243.3, 7.303, 7.659)},
+}
+
+
+def _characterize(cell_type: str, is_3d: bool):
+    netlist = build_cell_netlist(cell_type, 1.0, NODE_45NM)
+    if is_3d:
+        geometry = fold_cell_geometry(netlist, NODE_45NM)
+        parasitics = extract_cell(geometry, ExtractionMode.DIELECTRIC)
+    else:
+        geometry = build_cell_geometry_2d(netlist, NODE_45NM)
+        parasitics = extract_cell(geometry, ExtractionMode.FLAT)
+    setup = CharacterizationSetup(node=NODE_45NM)
+    return characterize_cell(netlist, parasitics, setup)
+
+
+def run(cells=CELLS) -> List[Dict[str, object]]:
+    """Measured Table 2 rows (one per cell per corner)."""
+    rows = []
+    for cell_type in cells:
+        char_2d = _characterize(cell_type, is_3d=False)
+        char_3d = _characterize(cell_type, is_3d=True)
+        arc2 = char_2d.worst_arc()
+        arc3 = char_3d.worst_arc()
+        sequential = cell_type == "DFF"
+        for corner, slew, seq_slew, load in CORNERS:
+            s = seq_slew if sequential else slew
+            d2 = arc2.delay.lookup(s, load)
+            d3 = arc3.delay.lookup(s, load)
+            e2 = arc2.internal_energy.lookup(s, load)
+            e3 = arc3.internal_energy.lookup(s, load)
+            rows.append({
+                "cell": cell_type,
+                "corner": corner,
+                "delay 2D (ps)": round(d2, 1),
+                "delay 3D (ps)": round(d3, 1),
+                "delay ratio (%)": round(d3 / d2 * 100.0, 1),
+                "power 2D (fJ)": round(e2, 3),
+                "power 3D (fJ)": round(e3, 3),
+                "power ratio (%)": round(e3 / e2 * 100.0, 1),
+            })
+    return rows
+
+
+def reference() -> List[Dict[str, object]]:
+    rows = []
+    for cell_type, corners in PAPER.items():
+        for corner, (d2, d3, p2, p3) in corners.items():
+            rows.append({
+                "cell": cell_type,
+                "corner": corner,
+                "delay 2D (ps)": d2,
+                "delay 3D (ps)": d3,
+                "delay ratio (%)": round(d3 / d2 * 100.0, 1),
+                "power 2D (fJ)": p2,
+                "power 3D (fJ)": p3,
+                "power ratio (%)": round(p3 / p2 * 100.0, 1),
+            })
+    return rows

@@ -1,0 +1,58 @@
+"""Table 3: metal layer summary (plus the Fig. 9 stack diagrams)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tech.metal import (
+    build_stack_2d,
+    build_stack_tmi,
+    build_stack_tmi_modified,
+)
+from repro.tech.node import NODE_45NM
+
+# Paper's Table 3 (unit nm): level -> (2D layers, 3D layers, w, s, t).
+PAPER = [
+    ("global", "M7,M8", "M10,M11", 400, 400, 800),
+    ("intermediate", "M4,M5,M6", "M7,M8,M9", 140, 140, 280),
+    ("local", "M2,M3", "M2,M3,M4,M5,M6", 70, 70, 140),
+    ("M1", "M1", "MB1,M1", 70, 65, 130),
+]
+
+
+def run() -> List[Dict[str, object]]:
+    """Measured Table 3: one row per level with both stacks' layers."""
+    stack_2d = build_stack_2d(NODE_45NM)
+    stack_3d = build_stack_tmi(NODE_45NM)
+    rows_2d = {r["level"]: r for r in stack_2d.class_summary()}
+    rows_3d = {r["level"]: r for r in stack_3d.class_summary()}
+    out = []
+    for level in ("global", "intermediate", "local", "M1"):
+        r2 = rows_2d[level]
+        r3 = rows_3d[level]
+        out.append({
+            "level": level,
+            "2D layers": r2["layers"],
+            "3D layers": r3["layers"],
+            "width (nm)": r2["width_nm"],
+            "spacing (nm)": r2["spacing_nm"],
+            "thickness (nm)": r2["thickness_nm"],
+        })
+    return out
+
+
+def reference() -> List[Dict[str, object]]:
+    return [
+        {"level": lvl, "2D layers": l2, "3D layers": l3,
+         "width (nm)": w, "spacing (nm)": s, "thickness (nm)": t}
+        for lvl, l2, l3, w, s, t in PAPER
+    ]
+
+
+def stack_diagrams() -> Dict[str, List[str]]:
+    """Fig. 9: layer lists of the three stack variants, bottom-up."""
+    return {
+        "2D": [l.name for l in build_stack_2d(NODE_45NM)],
+        "T-MI": [l.name for l in build_stack_tmi(NODE_45NM)],
+        "T-MI+M": [l.name for l in build_stack_tmi_modified(NODE_45NM)],
+    }

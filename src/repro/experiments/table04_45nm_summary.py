@@ -1,0 +1,38 @@
+"""Table 4: 45 nm layout summary — % difference of T-MI over 2D."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import cached_comparison
+
+CIRCUITS = ("fpu", "aes", "ldpc", "des", "m256")
+
+# Paper's Table 4: circuit -> (footprint, WL, total, cell, net, leakage) %.
+PAPER = {
+    "fpu": (-41.7, -26.3, -14.5, -9.4, -19.5, -11.1),
+    "aes": (-42.4, -23.6, -10.9, -7.6, -13.9, -9.5),
+    "ldpc": (-43.2, -33.6, -32.1, -12.8, -39.2, -21.7),
+    "des": (-40.9, -21.5, -4.1, -1.6, -7.7, -1.4),
+    "m256": (-43.4, -28.4, -17.5, -10.7, -22.2, -12.9),
+}
+
+
+def run(circuits=CIRCUITS, node_name: str = "45nm",
+        scale: Optional[float] = None) -> List[Dict[str, object]]:
+    """Measured Table 4 rows."""
+    rows = []
+    for circuit in circuits:
+        cmp = cached_comparison(circuit, node_name=node_name, scale=scale)
+        rows.append(cmp.summary_row())
+    return rows
+
+
+def reference() -> List[Dict[str, object]]:
+    return [
+        {"circuit": c.upper(),
+         "footprint": f"{v[0]:+.1f}%", "wirelen.": f"{v[1]:+.1f}%",
+         "total power": f"{v[2]:+.1f}%", "cell": f"{v[3]:+.1f}%",
+         "net": f"{v[4]:+.1f}%", "leakage": f"{v[5]:+.1f}%"}
+        for c, v in PAPER.items()
+    ]

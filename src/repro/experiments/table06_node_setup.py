@@ -1,0 +1,47 @@
+"""Table 6: 45 nm vs 7 nm node setup comparison."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tech.node import NODE_45NM, NODE_7NM
+
+PAPER = [
+    ("transistor", "planar", "multi-gate"),
+    ("VDD (V)", 1.1, 0.7),
+    ("transistor length (drawn, nm)", 50, 11),
+    ("transistor width", "varies", "fixed"),
+    ("back-end-of-line ILD k", 2.5, 2.2),
+    ("M2 width (nm)", 70, 10.8),
+    ("MIV diameter (nm)", 70, 10.8),
+    ("ILD thickness (nm)", 110, 50),
+    ("standard cell height (um)", 1.4, 0.218),
+]
+
+
+def run() -> List[Dict[str, object]]:
+    n45, n7 = NODE_45NM, NODE_7NM
+    return [
+        {"parameter": "transistor", "45nm": n45.device_type,
+         "7nm": n7.device_type},
+        {"parameter": "VDD (V)", "45nm": n45.vdd, "7nm": n7.vdd},
+        {"parameter": "transistor length (drawn, nm)",
+         "45nm": n45.drawn_length_nm, "7nm": n7.drawn_length_nm},
+        {"parameter": "transistor width",
+         "45nm": "varies" if not n45.fixed_transistor_width else "fixed",
+         "7nm": "fixed" if n7.fixed_transistor_width else "varies"},
+        {"parameter": "back-end-of-line ILD k",
+         "45nm": n45.beol_ild_k, "7nm": n7.beol_ild_k},
+        {"parameter": "M2 width (nm)", "45nm": n45.m2_width_nm,
+         "7nm": round(n7.m2_width_nm, 1)},
+        {"parameter": "MIV diameter (nm)", "45nm": n45.miv_diameter_nm,
+         "7nm": round(n7.miv_diameter_nm, 1)},
+        {"parameter": "ILD thickness (nm)", "45nm": n45.ild_thickness_nm,
+         "7nm": n7.ild_thickness_nm},
+        {"parameter": "standard cell height (um)",
+         "45nm": n45.cell_height_um, "7nm": n7.cell_height_um},
+    ]
+
+
+def reference() -> List[Dict[str, object]]:
+    return [{"parameter": p, "45nm": a, "7nm": b} for p, a, b in PAPER]

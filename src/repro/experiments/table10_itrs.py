@@ -1,0 +1,38 @@
+"""Table 10 (supplement): ITRS projections for 45 nm and 7 nm."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tech.itrs import ITRS_PROJECTIONS
+
+PAPER = {
+    "45nm": (2010, "bulk Si", 1210, 4.08, 0.19),
+    "7nm": (2025, "multi-gate", 2228, 15.02, 0.15),
+}
+
+
+def run() -> List[Dict[str, object]]:
+    rows = []
+    for name, entry in ITRS_PROJECTIONS.items():
+        rows.append({
+            "node": name,
+            "year": entry.year,
+            "device type": entry.device_type,
+            "NMOS drive (uA/um)": entry.nmos_drive_current_ua_per_um,
+            "Cu eff. resistivity (uohm-cm)":
+                entry.cu_effective_resistivity_uohm_cm,
+            "Cu unit cap (fF/um)":
+                entry.cu_unit_length_capacitance_ff_per_um,
+        })
+    return rows
+
+
+def reference() -> List[Dict[str, object]]:
+    return [
+        {"node": n, "year": v[0], "device type": v[1],
+         "NMOS drive (uA/um)": v[2],
+         "Cu eff. resistivity (uohm-cm)": v[3],
+         "Cu unit cap (fF/um)": v[4]}
+        for n, v in PAPER.items()
+    ]

@@ -1,0 +1,72 @@
+"""Table 11 (supplement): 7 nm cell characterization vs 45 nm.
+
+MNA transient characterization of INV, NAND2, DFF at both nodes at the
+paper's condition: input slew 19 ps, load 3.2 fF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cells.netlist import build_cell_netlist
+from repro.cells.geometry import build_cell_geometry_2d
+from repro.extraction.rc import ExtractionMode, extract_cell
+from repro.characterize.charlib import (
+    CharacterizationSetup,
+    characterize_cell,
+)
+from repro.characterize.analytic import pin_capacitance_ff
+from repro.tech.node import NODE_45NM, NODE_7NM
+
+CELLS = ("INV", "NAND2", "DFF")
+SLEW_PS = 19.0
+LOAD_FF = 3.2
+
+# Paper: (cell, node) -> (input cap fF, delay ps, slew ps, power fJ,
+# leakage pW).
+PAPER = {
+    ("INV", "45nm"): (0.463, 44.27, 31.35, 0.446, 2844),
+    ("INV", "7nm"): (0.125, 25.56, 15.13, 0.020, 2583),
+    ("NAND2", "45nm"): (0.523, 49.24, 35.89, 0.680, 4962),
+    ("NAND2", "7nm"): (0.082, 30.50, 19.29, 0.020, 2906),
+    ("DFF", "45nm"): (0.877, 124.70, 34.55, 3.425, 42965),
+    ("DFF", "7nm"): (0.097, 27.07, 8.25, 0.604, 23241),
+}
+
+
+def run(cells=CELLS) -> List[Dict[str, object]]:
+    rows = []
+    for cell_type in cells:
+        for node in (NODE_45NM, NODE_7NM):
+            netlist = build_cell_netlist(cell_type, 1.0, node)
+            geometry = build_cell_geometry_2d(netlist, node)
+            parasitics = extract_cell(geometry, ExtractionMode.FLAT, node)
+            setup = CharacterizationSetup(
+                node=node, slews_ps=(SLEW_PS,), seq_slews_ps=(SLEW_PS,),
+                loads_ff=(LOAD_FF,))
+            char = characterize_cell(netlist, parasitics, setup)
+            arc = char.worst_arc()
+            in_pin = netlist.input_pins[0]
+            rows.append({
+                "cell": cell_type,
+                "node": node.name,
+                "input cap (fF)": round(
+                    pin_capacitance_ff(netlist, in_pin, node, parasitics),
+                    3),
+                "delay (ps)": round(arc.delay.lookup(SLEW_PS, LOAD_FF), 2),
+                "output slew (ps)": round(
+                    arc.output_slew.lookup(SLEW_PS, LOAD_FF), 2),
+                "cell power (fJ)": round(
+                    arc.internal_energy.lookup(SLEW_PS, LOAD_FF), 3),
+                "leakage (pW)": round(char.leakage_mw * 1.0e9, 0),
+            })
+    return rows
+
+
+def reference() -> List[Dict[str, object]]:
+    return [
+        {"cell": c, "node": n, "input cap (fF)": v[0],
+         "delay (ps)": v[1], "output slew (ps)": v[2],
+         "cell power (fJ)": v[3], "leakage (pW)": v[4]}
+        for (c, n), v in PAPER.items()
+    ]

@@ -1,0 +1,80 @@
+"""Table 12 (supplement): benchmark circuits and synthesis results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.circuits.generators import (
+    generate_benchmark,
+    PAPER_CELL_COUNTS_45NM,
+)
+from repro.circuits.stats import compute_stats
+from repro.experiments.runner import default_scale
+from repro.flow.design_flow import library_for, _stack_for, FlowConfig
+from repro.synth.synthesis import Synthesizer
+from repro.synth.wlm import WireLoadModel
+from repro.tech.interconnect import InterconnectModel
+
+CIRCUITS = ("fpu", "aes", "ldpc", "des", "m256")
+
+# Paper Table 12 at 45 nm: circuit -> (clock ns, #cells, area um2, #nets,
+# avg fanout).
+PAPER_45 = {
+    "fpu": (1.8, 9694, 19123, 11345, 2.35),
+    "aes": (0.8, 13891, 16756, 14218, 2.40),
+    "ldpc": (2.4, 38289, 60590, 44153, 2.38),
+    "des": (1.0, 51162, 85526, 54724, 2.33),
+    "m256": (2.4, 202877, 293636, 222569, 2.23),
+}
+
+
+def run(circuits=CIRCUITS, node_name: str = "45nm",
+        scale: Optional[float] = None) -> List[Dict[str, object]]:
+    library = library_for(node_name, False)
+    rows = []
+    for circuit in circuits:
+        sc = scale if scale is not None else default_scale(circuit)
+        module = generate_benchmark(circuit, scale=sc)
+        config = FlowConfig(circuit=circuit, node_name=node_name,
+                            scale=sc)
+        interconnect = InterconnectModel(
+            _stack_for(config, library.node))
+        area = sum(library.cell(i.cell_name).area_um2
+                   for i in module.instances)
+        wlm = WireLoadModel.estimate(circuit, area, 0.8, interconnect,
+                                     False)
+        synth = Synthesizer(library, wlm).run(module)
+        stats = compute_stats(module, library)
+        rows.append({
+            "circuit": circuit.upper(),
+            "scale": sc,
+            "target clock (ns)": round(synth.clock_ns, 2),
+            "#cells": stats.n_cells,
+            "cell area (um2)": round(stats.cell_area_um2, 0),
+            "#nets": stats.n_nets,
+            "avg fanout": round(stats.average_fanout, 2),
+        })
+    return rows
+
+
+def reference() -> List[Dict[str, object]]:
+    return [
+        {"circuit": c.upper(), "scale": 1.0,
+         "target clock (ns)": v[0], "#cells": v[1],
+         "cell area (um2)": v[2], "#nets": v[3], "avg fanout": v[4]}
+        for c, v in PAPER_45.items()
+    ]
+
+
+def full_scale_cell_counts(circuits=("fpu", "aes", "ldpc", "des")
+                           ) -> List[Dict[str, object]]:
+    """Generator sizes at scale = 1.0 vs the paper (pre-synthesis)."""
+    rows = []
+    for circuit in circuits:
+        module = generate_benchmark(circuit, scale=1.0)
+        rows.append({
+            "circuit": circuit.upper(),
+            "#cells (generated)": module.n_cells,
+            "#cells (paper)": PAPER_CELL_COUNTS_45NM[circuit],
+        })
+    return rows

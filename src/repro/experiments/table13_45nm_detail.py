@@ -1,0 +1,47 @@
+"""Table 13 (supplement): detailed 45 nm layout results (2D and T-MI)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import cached_comparison
+
+CIRCUITS = ("fpu", "aes", "ldpc", "des", "m256")
+
+# Paper Table 13 highlights: circuit -> style -> (#buffers ratio %, WL
+# ratio %, total power ratio %).  Used for shape checks.
+PAPER_RATIOS = {
+    "fpu": (75.4, 73.7, 85.5),
+    "aes": (104.1, 76.4, 89.1),
+    "ldpc": (51.4, 66.4, 67.9),
+    "des": (96.8, 78.5, 95.9),
+    "m256": (76.4, 71.6, 82.5),
+}
+
+
+def run(circuits=CIRCUITS, node_name: str = "45nm",
+        scale: Optional[float] = None) -> List[Dict[str, object]]:
+    rows = []
+    for circuit in circuits:
+        cmp = cached_comparison(circuit, node_name=node_name, scale=scale)
+        rows.extend(cmp.detail_rows())
+    return rows
+
+
+def buffer_ratios(circuits=CIRCUITS, node_name: str = "45nm"
+                  ) -> Dict[str, float]:
+    """T-MI/2D buffer-count ratio per circuit (the Table 13 mechanism)."""
+    ratios = {}
+    for circuit in circuits:
+        cmp = cached_comparison(circuit, node_name=node_name)
+        n2 = max(cmp.result_2d.n_buffers, 1)
+        ratios[circuit] = cmp.result_3d.n_buffers / n2 * 100.0
+    return ratios
+
+
+def reference() -> List[Dict[str, object]]:
+    return [
+        {"circuit": c.upper(), "#buffers 3D/2D (%)": v[0],
+         "WL 3D/2D (%)": v[1], "total power 3D/2D (%)": v[2]}
+        for c, v in PAPER_RATIOS.items()
+    ]

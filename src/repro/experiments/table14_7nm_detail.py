@@ -1,0 +1,35 @@
+"""Table 14 (supplement): detailed 7 nm layout results (2D and T-MI)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import cached_comparison
+
+CIRCUITS = ("fpu", "aes", "ldpc", "des", "m256")
+
+# Paper Table 14 ratio highlights: circuit -> (#buffers %, WL %, power %).
+PAPER_RATIOS = {
+    "fpu": (34.8, 65.8, 62.7),
+    "aes": (15.5, 52.2, 80.2),
+    "ldpc": (67.9, 72.3, 80.9),
+    "des": (97.7, 78.1, 96.6),
+    "m256": (69.3, 77.0, 82.2),
+}
+
+
+def run(circuits=CIRCUITS,
+        scale: Optional[float] = None) -> List[Dict[str, object]]:
+    rows = []
+    for circuit in circuits:
+        cmp = cached_comparison(circuit, node_name="7nm", scale=scale)
+        rows.extend(cmp.detail_rows())
+    return rows
+
+
+def reference() -> List[Dict[str, object]]:
+    return [
+        {"circuit": c.upper(), "#buffers 3D/2D (%)": v[0],
+         "WL 3D/2D (%)": v[1], "total power 3D/2D (%)": v[2]}
+        for c, v in PAPER_RATIOS.items()
+    ]

@@ -1,0 +1,60 @@
+"""Table 15 (supplement): impact of the T-MI wire load model.
+
+Synthesizes the T-MI design with the 2D WLM ("-n" rows) instead of the
+T-MI WLM and compares layout quality.  The paper finds the custom WLM
+matters for LDPC and M256 (up to +10 % WL / power without it) and is
+negligible for the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import (
+    cached_comparison,
+    cached_flow,
+)
+from repro.flow.reports import percentage_diff
+
+CIRCUITS = ("fpu", "aes", "ldpc", "des", "m256")
+
+# Paper: circuit -> (WL delta %, power delta %) without the T-MI WLM.
+PAPER = {
+    "fpu": (1.9, -0.3),
+    "aes": (0.1, -0.1),
+    "ldpc": (10.1, 10.1),
+    "des": (0.5, 0.9),
+    "m256": (5.5, 3.9),
+}
+
+
+def run(circuits=CIRCUITS,
+        scale: Optional[float] = None) -> List[Dict[str, object]]:
+    rows = []
+    for circuit in circuits:
+        cmp = cached_comparison(circuit, scale=scale)
+        with_wlm = cmp.result_3d
+        config_no = replace(with_wlm.config, use_tmi_wlm=False)
+        without = cached_flow(config_no)
+        rows.append({
+            "design": f"{circuit.upper()}-3D",
+            "WL (um)": round(with_wlm.total_wirelength_um, 0),
+            "WL w/o T-MI WLM": round(without.total_wirelength_um, 0),
+            "WL delta (%)": round(percentage_diff(
+                without.total_wirelength_um,
+                with_wlm.total_wirelength_um), 1),
+            "power (mW)": round(with_wlm.power.total_mw, 4),
+            "power w/o": round(without.power.total_mw, 4),
+            "power delta (%)": round(percentage_diff(
+                without.power.total_mw, with_wlm.power.total_mw), 1),
+        })
+    return rows
+
+
+def reference() -> List[Dict[str, object]]:
+    return [
+        {"design": f"{c.upper()}-3D", "WL delta (%)": v[0],
+         "power delta (%)": v[1]}
+        for c, v in PAPER.items()
+    ]

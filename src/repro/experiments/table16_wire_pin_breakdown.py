@@ -1,0 +1,59 @@
+"""Table 16 (supplement): wire vs pin capacitance/power breakdown.
+
+The paper's Section 4.3 centerpiece: LDPC's net power is wire-dominated
+(wire cap 558 pF vs pin 134 pF in 2D), DES's is pin-dominated (64 pF vs
+127 pF) — which is exactly why T-MI's wirelength savings translate into
+power for LDPC and not for DES.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import cached_comparison
+
+CIRCUITS = ("ldpc", "des")
+
+# Paper: design -> (wire cap pF, pin cap pF, wire power mW, pin power mW).
+PAPER = {
+    "LDPC-2D": (558.0, 134.4, 30.73, 9.04),
+    "LDPC-3D": (310.3, 123.6, 15.88, 8.32),
+    "DES-2D": (64.4, 127.4, 8.88, 17.80),
+    "DES-3D": (50.1, 126.6, 6.87, 17.76),
+}
+
+
+def run(circuits=CIRCUITS,
+        scale: Optional[float] = None) -> List[Dict[str, object]]:
+    rows = []
+    for circuit in circuits:
+        cmp = cached_comparison(circuit, scale=scale)
+        for result in (cmp.result_2d, cmp.result_3d):
+            rows.append({
+                "design": f"{circuit.upper()}-{result.config.style()}",
+                "wire cap (pF)": round(result.power.wire_cap_pf, 3),
+                "pin cap (pF)": round(result.power.pin_cap_pf, 3),
+                "wire power (mW)": round(result.power.net_wire_mw, 4),
+                "pin power (mW)": round(result.power.net_pin_mw, 4),
+            })
+    return rows
+
+
+def reference() -> List[Dict[str, object]]:
+    return [
+        {"design": d, "wire cap (pF)": v[0], "pin cap (pF)": v[1],
+         "wire power (mW)": v[2], "pin power (mW)": v[3]}
+        for d, v in PAPER.items()
+    ]
+
+
+def dominance_contrast(rows: Optional[List[Dict[str, object]]] = None
+                       ) -> Dict[str, float]:
+    """wire/pin cap ratio per 2D design: LDPC >> 1, DES << LDPC."""
+    rows = rows if rows is not None else run()
+    out = {}
+    for row in rows:
+        if row["design"].endswith("-2D"):
+            out[row["design"]] = (row["wire cap (pF)"]
+                                  / max(row["pin cap (pF)"], 1e-9))
+    return out

@@ -1,0 +1,57 @@
+"""Table 17 (supplement): impact of the T-MI+M metal stack (7 nm).
+
+Moving two of the extra T-MI layers from the local to the intermediate
+class (Fig. 9(c)) — the paper finds a small (~2-3 %) total power
+improvement for LDPC and M256, concluding the T-MI metal stack should be
+chosen carefully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import (
+    cached_comparison,
+    cached_flow,
+)
+from repro.flow.reports import percentage_diff
+
+CIRCUITS = ("ldpc", "m256")
+
+# Paper: circuit -> (WL delta %, total power delta %) for T-MI+M vs T-MI.
+PAPER = {
+    "ldpc": (-1.6, -2.4),
+    "m256": (+1.0, -2.8),
+}
+
+
+def run(circuits=CIRCUITS,
+        scale: Optional[float] = None) -> List[Dict[str, object]]:
+    rows = []
+    for circuit in circuits:
+        cmp = cached_comparison(circuit, node_name="7nm", scale=scale)
+        base = cmp.result_3d
+        config_m = replace(base.config, metal_stack="tmi+m")
+        modified = cached_flow(config_m)
+        rows.append({
+            "design": f"{circuit.upper()}-3D vs +M",
+            "WL (um)": round(base.total_wirelength_um, 0),
+            "WL +M": round(modified.total_wirelength_um, 0),
+            "WL delta (%)": round(percentage_diff(
+                modified.total_wirelength_um,
+                base.total_wirelength_um), 1),
+            "power (mW)": round(base.power.total_mw, 4),
+            "power +M": round(modified.power.total_mw, 4),
+            "power delta (%)": round(percentage_diff(
+                modified.power.total_mw, base.power.total_mw), 1),
+        })
+    return rows
+
+
+def reference() -> List[Dict[str, object]]:
+    return [
+        {"design": f"{c.upper()}-3D vs +M", "WL delta (%)": v[0],
+         "power delta (%)": v[1]}
+        for c, v in PAPER.items()
+    ]

@@ -1,0 +1,23 @@
+"""Cell-internal parasitic RC extraction (Calibre XRC substitute).
+
+Given a cell's segment-level geometry, computes per-net parasitic
+resistance and capacitance, including the inter-tier coupling of monolithic
+3D cells.  The top-tier silicon can be treated as a dielectric (mode
+``3d``, overestimating inter-tier coupling) or as a conductor (mode
+``3d-c``, underestimating it) — the two bounds the paper reports in
+Table 1; the physical truth lies between them.
+"""
+
+from repro.extraction.rc import (
+    ExtractionMode,
+    NetParasitics,
+    CellParasitics,
+    extract_cell,
+)
+
+__all__ = [
+    "ExtractionMode",
+    "NetParasitics",
+    "CellParasitics",
+    "extract_cell",
+]

@@ -1,0 +1,18 @@
+"""End-to-end design flow (Fig. 1 of the paper) and comparisons."""
+
+from repro.flow.design_flow import FlowConfig, LayoutResult, run_flow
+from repro.flow.compare import (
+    ComparisonResult,
+    run_iso_performance_comparison,
+)
+from repro.flow.reports import format_table, percentage_diff
+
+__all__ = [
+    "FlowConfig",
+    "LayoutResult",
+    "run_flow",
+    "ComparisonResult",
+    "run_iso_performance_comparison",
+    "format_table",
+    "percentage_diff",
+]

@@ -1,0 +1,295 @@
+"""The end-to-end design and analysis flow (Fig. 1 of the paper).
+
+Stages: library preparation -> benchmark netlist -> WLM synthesis ->
+floorplan + placement -> pre-route optimization -> CTS -> global routing
+(with the congestion-driven utilization fallback the paper applies to
+LDPC) -> post-route optimization -> sign-off STA -> statistical power.
+
+All experiment knobs of the paper's studies are exposed on
+:class:`FlowConfig`: node, integration style, metal stack variant
+(Table 17), local-resistivity scale (Table 9), pin-cap scale (Table 8),
+WLM style (Table 15), activity factors (Fig. 11), MIV/MB1 blockage
+overhead (Fig. 7), and the target clock (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cells.nangate import build_nangate_library
+from repro.circuits.generators import generate_benchmark
+from repro.opt.cts import synthesize_clock_tree
+from repro.opt.optimizer import Optimizer
+from repro.place.placer import Placer
+from repro.power.analysis import PowerReport, analyze_power
+from repro.route.router import GlobalRouter, RoutingResult
+from repro.synth.synthesis import Synthesizer
+from repro.synth.wlm import WireLoadModel
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import (
+    build_stack_2d,
+    build_stack_tmi,
+    build_stack_tmi_modified,
+)
+from repro.tech.node import get_node
+from repro.timing.netmodel import PlacedNetModel, RoutedNetModel
+from repro.timing.sta import TimingAnalyzer
+
+logger = logging.getLogger(__name__)
+
+# Congestion fallback: utilization multiplier per retry, max retries, and
+# the busiest-tile overflow ratio that triggers a retry.
+CONGESTION_UTIL_STEP = 0.65
+MAX_ROUTE_RETRIES = 3
+CONGESTION_TRIGGER = 1.10
+
+# Library cache: (node name, is_3d) -> CellLibrary.
+_LIBRARY_CACHE: Dict[Tuple[str, bool], object] = {}
+
+
+def library_for(node_name: str, is_3d: bool):
+    """Build (or fetch) the characterized library for a node + style."""
+    key = (node_name, is_3d)
+    if key not in _LIBRARY_CACHE:
+        _LIBRARY_CACHE[key] = build_nangate_library(
+            get_node(node_name), is_3d=is_3d)
+    return _LIBRARY_CACHE[key]
+
+
+@dataclass
+class FlowConfig:
+    """Everything one flow run needs."""
+
+    circuit: str
+    node_name: str = "45nm"
+    is_3d: bool = False
+    scale: float = 0.1
+    seed: int = 0
+    target_clock_ns: Optional[float] = None
+    tightness: str = "medium"
+    target_utilization: float = 0.80
+    metal_stack: str = "default"        # "default" or "tmi+m"
+    local_resistivity_scale: float = 1.0
+    pin_cap_scale: float = 1.0
+    use_tmi_wlm: Optional[bool] = None
+    pi_activity: float = 0.2
+    seq_activity: float = 0.1
+
+    def style(self) -> str:
+        return "3D" if self.is_3d else "2D"
+
+
+@dataclass
+class LayoutResult:
+    """One Table 13/14 row plus everything the studies need."""
+
+    config: FlowConfig
+    clock_ns: float
+    footprint_um2: float
+    core_width_um: float
+    core_height_um: float
+    n_cells: int
+    n_buffers: int
+    utilization: float
+    utilization_target: float
+    total_wirelength_um: float
+    wns_ps: float
+    power: PowerReport
+    routing: RoutingResult
+    synthesis_cells: int
+    cts_buffers: int
+    opt_buffers: int
+
+    @property
+    def met(self) -> bool:
+        return self.wns_ps >= -1.0   # 1 ps grace for table-edge noise
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.power.total_mw
+
+    def summary_row(self) -> Dict[str, object]:
+        return {
+            "circuit": self.config.circuit,
+            "type": self.config.style(),
+            "clock (ns)": round(self.clock_ns, 2),
+            "footprint (um2)": round(self.footprint_um2, 0),
+            "#cells": self.n_cells,
+            "#buffers": self.n_buffers,
+            "utilization (%)": round(self.utilization * 100.0, 1),
+            "total WL (um)": round(self.total_wirelength_um, 0),
+            "WNS (ps)": round(self.wns_ps, 0),
+            "total power (mW)": round(self.power.total_mw, 4),
+            "cell power (mW)": round(self.power.cell_mw, 4),
+            "net power (mW)": round(self.power.net_mw, 4),
+            "leakage (mW)": round(self.power.leakage_mw, 4),
+        }
+
+
+def _stack_for(config: FlowConfig, node):
+    if not config.is_3d:
+        return build_stack_2d(node)
+    if config.metal_stack == "tmi+m":
+        return build_stack_tmi_modified(node)
+    return build_stack_tmi(node)
+
+
+def _count_buffers(module, library) -> int:
+    n = 0
+    for inst in module.instances:
+        cell = library.cell(inst.cell_name)
+        if cell.cell_type in ("BUF", "CLKBUF"):
+            n += 1
+    return n
+
+
+def run_flow(config: FlowConfig) -> LayoutResult:
+    """Run the full flow for one configuration."""
+    node = get_node(config.node_name)
+    library = library_for(config.node_name, config.is_3d)
+    if config.pin_cap_scale != 1.0:
+        library = library.scale_pin_caps(config.pin_cap_scale)
+    stack = _stack_for(config, node)
+    interconnect = InterconnectModel(
+        stack, local_resistivity_scale=config.local_resistivity_scale)
+
+    # -- synthesis -------------------------------------------------------------
+    module = generate_benchmark(config.circuit, scale=config.scale,
+                                seed=config.seed)
+    pre_area = sum(library.cell(i.cell_name).area_um2
+                   for i in module.instances)
+    wlm = WireLoadModel.estimate(
+        name=f"{config.circuit}-{config.style()}",
+        total_cell_area_um2=pre_area,
+        utilization=config.target_utilization,
+        interconnect=interconnect,
+        is_3d=config.is_3d,
+        use_tmi_lengths=config.use_tmi_wlm,
+    )
+    synthesizer = Synthesizer(library, wlm,
+                              target_clock_ns=config.target_clock_ns,
+                              tightness=config.tightness)
+    synth = synthesizer.run(module)
+    clock_ns = synth.clock_ns
+    synthesis_cells = module.n_cells
+
+    # -- placement + optimization + routing, with congestion fallback ----------
+    utilization_target = config.target_utilization
+    cts_buffers = 0
+    for attempt in range(MAX_ROUTE_RETRIES):
+        placer = Placer(library, target_utilization=utilization_target)
+        placement = placer.run(module)
+        floorplan = placement.floorplan
+        net_model = PlacedNetModel(module, interconnect,
+                                   io_positions=floorplan.io_positions)
+
+        optimizer = Optimizer(library, interconnect, floorplan, clock_ns)
+        pre_opt = optimizer.run(module, net_model)
+
+        cts = synthesize_clock_tree(module, library, floorplan)
+        cts_buffers += cts.n_buffers
+
+        router = GlobalRouter(library, interconnect, floorplan)
+        routing = router.run(module)
+        if routing.grid.worst_overflow() <= CONGESTION_TRIGGER:
+            break
+        if config.target_clock_ns is not None:
+            # Paired run at an externally chosen clock: the floorplan
+            # policy (utilization) is part of the experiment setup and
+            # must match the lead run; congestion shows up as routing
+            # detours and timing pressure instead (exactly the 7 nm T-MI
+            # congestion effect Section 6 discusses).
+            break
+        if attempt == MAX_ROUTE_RETRIES - 1:
+            logger.warning(
+                "%s %s: still congested at utilization %.2f "
+                "(overflow %.2f); proceeding with routing detours",
+                config.circuit, config.style(), utilization_target,
+                routing.grid.worst_overflow())
+            break
+        # The paper's move: lower placement utilization and redo layout
+        # (LDPC went from 80 % to ~33 %).
+        logger.info(
+            "%s %s: congestion overflow %.2f at utilization %.2f; "
+            "retrying at %.2f", config.circuit, config.style(),
+            routing.grid.worst_overflow(), utilization_target,
+            utilization_target * CONGESTION_UTIL_STEP)
+        utilization_target *= CONGESTION_UTIL_STEP
+        # Buffers inserted for the dense floorplan stay; re-placement
+        # re-legalizes everything in the larger core.
+
+    # -- post-route optimization -------------------------------------------------
+    net_model.invalidate()
+    post_opt = optimizer.run(module, net_model)
+    routing = router.run(module)
+
+    # -- sign-off -------------------------------------------------------------------
+    routed_model = RoutedNetModel(routing.lengths_um,
+                                  routing.resistances_kohm,
+                                  routing.capacitances_ff)
+    analyzer = TimingAnalyzer(module, library, routed_model, clock_ns)
+    report = analyzer.run()
+    if config.target_clock_ns is None:
+        retuned = False
+        if report.wns_ps < 0.0:
+            # The WLM estimate was optimistic for this layout; relax the
+            # period to the achieved one (rounded up to 10 ps) so the
+            # design signs off timing-clean, then hand the same clock to
+            # the paired T-MI run for the iso-performance comparison.
+            clock_ns = math.ceil(
+                (clock_ns * 1000.0 - report.wns_ps) / 10.0) / 100.0
+            retuned = True
+        elif report.wns_ps > 0.04 * clock_ns * 1000.0:
+            # The WLM estimate was badly pessimistic: the achieved layout
+            # is much faster than the requested clock, leaving the design
+            # under no optimization pressure at all.  Re-target near the
+            # achieved critical path (keeping the tightness margin) and
+            # re-optimize, as a designer iterating on the clock would.
+            achieved_ps = clock_ns * 1000.0 - report.wns_ps
+            margin = {"fast": 1.0, "medium": 1.05, "slow": 1.30}[
+                config.tightness]
+            clock_ns = math.ceil(achieved_ps * margin / 10.0) / 100.0
+            optimizer = Optimizer(library, interconnect, floorplan,
+                                  clock_ns)
+            net_model.invalidate()
+            optimizer.run(module, net_model, fix_drvs=False)
+            routing = router.run(module)
+            routed_model = RoutedNetModel(routing.lengths_um,
+                                          routing.resistances_kohm,
+                                          routing.capacitances_ff)
+            retuned = True
+        if retuned:
+            analyzer = TimingAnalyzer(module, library, routed_model,
+                                      clock_ns)
+            report = analyzer.run()
+            if report.wns_ps < 0.0:
+                clock_ns = math.ceil(
+                    (clock_ns * 1000.0 - report.wns_ps) / 10.0) / 100.0
+                analyzer = TimingAnalyzer(module, library, routed_model,
+                                          clock_ns)
+                report = analyzer.run()
+    power = analyze_power(module, library, routed_model, clock_ns,
+                          pi_activity=config.pi_activity,
+                          seq_activity=config.seq_activity)
+
+    return LayoutResult(
+        config=config,
+        clock_ns=clock_ns,
+        footprint_um2=floorplan.area_um2,
+        core_width_um=floorplan.width_um,
+        core_height_um=floorplan.height_um,
+        n_cells=module.n_cells,
+        n_buffers=_count_buffers(module, library),
+        utilization=floorplan.utilization_of(module, library),
+        utilization_target=utilization_target,
+        total_wirelength_um=routing.total_wirelength_um,
+        wns_ps=report.wns_ps,
+        power=power,
+        routing=routing,
+        synthesis_cells=synthesis_cells,
+        cts_buffers=cts_buffers,
+        opt_buffers=pre_opt.n_buffers_added + post_opt.n_buffers_added,
+    )

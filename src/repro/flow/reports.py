@@ -1,0 +1,51 @@
+"""Report formatting helpers: paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def percentage_diff(new: float, base: float) -> float:
+    """(new - base) / base in percent; the paper's "-41.7%" convention."""
+    if base == 0.0:
+        return 0.0
+    return (new - base) / base * 100.0
+
+
+def format_percentage(value: float) -> str:
+    return f"{value:+.1f}%"
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 title: str = "") -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return title
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {c: len(str(c)) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        line = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                text = f"{value:.4g}"
+            else:
+                text = str(value)
+            widths[c] = max(widths[c], len(text))
+            line.append(text)
+        rendered.append(line)
+    out = []
+    if title:
+        out.append(title)
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    out.append(header)
+    out.append("-" * len(header))
+    for line in rendered:
+        out.append("  ".join(text.rjust(widths[c])
+                             for text, c in zip(line, columns)))
+    return "\n".join(out)

@@ -1,0 +1,17 @@
+"""Timing/power optimization: sizing, buffering, CTS, and the main loop."""
+
+from repro.opt.sizing import upsize_critical, recover_power
+from repro.opt.buffering import insert_repeaters, buffer_far_sinks
+from repro.opt.cts import synthesize_clock_tree, CTSResult
+from repro.opt.optimizer import Optimizer, OptimizationResult
+
+__all__ = [
+    "upsize_critical",
+    "recover_power",
+    "insert_repeaters",
+    "buffer_far_sinks",
+    "synthesize_clock_tree",
+    "CTSResult",
+    "Optimizer",
+    "OptimizationResult",
+]

@@ -1,0 +1,127 @@
+"""Buffer insertion: repeaters on long nets, isolation of far sinks.
+
+The buffer count is the key iso-performance lever the paper analyses
+(Table 13: LDPC loses 48.6 % of its buffers with T-MI, DES only 3.2 %):
+longer wires demand more repeaters to meet the same clock, and buffers
+cost both cell power and area.  Both routines take positions from the
+placed module so the 2D and T-MI designs buffer according to their own
+geometries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.circuits.netlist import Module, Net
+from repro.place.floorplan import Floorplan
+from repro.place.legalize import place_instance_near
+
+# Repeater spacing in units of the "optimal" length derived from drive
+# strength and wire RC; beyond ~2x the optimum the net gets repeaters.
+REPEATER_TRIGGER = 2.0
+BUFFER_CELL = "BUF_X4"
+# A sink farther than this fraction of the net's span gets isolated.
+FAR_SINK_FRACTION = 0.6
+
+
+def optimal_repeater_length_um(library, interconnect) -> float:
+    """Closed-form optimal repeater spacing sqrt(2 R_buf C_buf / (r c))."""
+    from repro.tech.metal import LayerClass
+
+    buf = library.cell(BUFFER_CELL)
+    rc = interconnect.class_rc(LayerClass.INTERMEDIATE)
+    # Representative buffer drive: delay slope of its table.
+    r_buf_kohm = 8.0 / buf.strength
+    c_buf_ff = buf.max_input_cap_ff()
+    r_wire = rc.resistance_kohm_per_um
+    c_wire = rc.capacitance_ff_per_um
+    if r_wire <= 0.0 or c_wire <= 0.0:
+        return float("inf")
+    return math.sqrt(2.0 * r_buf_kohm * c_buf_ff / (r_wire * c_wire))
+
+
+def _driver_position(module: Module, net: Net,
+                     floorplan: Floorplan) -> Tuple[float, float]:
+    if net.driver is not None and net.driver[0] >= 0:
+        inst = module.instances[net.driver[0]]
+        return inst.x_um, inst.y_um
+    return floorplan.io_positions.get(net.index, (0.0, 0.0))
+
+
+def insert_repeaters(module: Module, library, floorplan: Floorplan,
+                     net: Net, length_um: float,
+                     opt_length_um: float) -> int:
+    """Insert a repeater chain on a long 2-ish-pin net; returns count."""
+    if length_um < REPEATER_TRIGGER * opt_length_um or not net.sinks:
+        return 0
+    n_rep = min(int(length_um / opt_length_um), 6)
+    if n_rep < 1:
+        return 0
+    x0, y0 = _driver_position(module, net, floorplan)
+    # Centroid of sinks as the chain's far end.
+    sx, sy, cnt = 0.0, 0.0, 0
+    for inst_idx, _pin in net.sinks:
+        if inst_idx >= 0:
+            inst = module.instances[inst_idx]
+            sx += inst.x_um
+            sy += inst.y_um
+            cnt += 1
+        else:
+            pos = floorplan.io_positions.get(net.index)
+            if pos:
+                sx += pos[0]
+                sy += pos[1]
+                cnt += 1
+    if cnt == 0:
+        return 0
+    x1, y1 = sx / cnt, sy / cnt
+    current_net_idx = net.index
+    inserted = 0
+    movable_sinks = list(net.sinks)
+    for k in range(1, n_rep + 1):
+        frac = k / (n_rep + 1)
+        bx = x0 + frac * (x1 - x0)
+        by = y0 + frac * (y1 - y0)
+        buf = module.insert_buffer(current_net_idx, BUFFER_CELL,
+                                   movable_sinks)
+        place_instance_near(module, library, floorplan, buf, bx, by)
+        current_net_idx = buf.pin_nets["Z"]
+        movable_sinks = list(module.nets[current_net_idx].sinks)
+        # The buffer itself must keep driving the rest of the chain.
+        movable_sinks = [s for s in movable_sinks if s[0] != buf.index]
+        inserted += 1
+    return inserted
+
+
+def buffer_far_sinks(module: Module, library, floorplan: Floorplan,
+                     net: Net) -> int:
+    """Isolate the far half of a multi-sink net behind one buffer."""
+    if net.fanout < 3:
+        return 0
+    x0, y0 = _driver_position(module, net, floorplan)
+    dists: List[Tuple[float, Tuple[int, str]]] = []
+    for sink in net.sinks:
+        inst_idx, _pin = sink
+        if inst_idx < 0:
+            continue
+        inst = module.instances[inst_idx]
+        d = abs(inst.x_um - x0) + abs(inst.y_um - y0)
+        dists.append((d, sink))
+    if len(dists) < 2:
+        return 0
+    dists.sort()
+    span = dists[-1][0]
+    if span <= 0.0:
+        return 0
+    far = [s for d, s in dists if d > FAR_SINK_FRACTION * span]
+    if not far or len(far) == len(dists):
+        far = [s for _d, s in dists[len(dists) // 2:]]
+    if not far:
+        return 0
+    fx = sum(module.instances[s[0]].x_um for s in far) / len(far)
+    fy = sum(module.instances[s[0]].y_um for s in far) / len(far)
+    buf = module.insert_buffer(net.index, BUFFER_CELL, far)
+    place_instance_near(module, library, floorplan, buf,
+                        (x0 + fx) / 2.0, (y0 + fy) / 2.0)
+    return 1

@@ -1,0 +1,106 @@
+"""Gate sizing: upsize for timing, downsize for power recovery.
+
+Iso-performance comparison depends on both directions: when timing is
+easy (T-MI's shorter wires) the optimizer downsizes cells and the *cell*
+power drops too — the effect Section 4.1 calls out ("with a better
+timing, cells are downsized and less number of buffers are used").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits.netlist import Module, PO_SINK
+from repro.timing.sta import TimingAnalyzer, TimingReport
+
+
+def trace_critical_path(module: Module, library,
+                        report: TimingReport) -> List[int]:
+    """Instance indices along the critical path, endpoint first."""
+    endpoint = report.critical_endpoint
+    if endpoint is None:
+        return []
+    inst_idx, pin = endpoint
+    if inst_idx == PO_SINK:
+        net = module.net_by_name(pin)
+    else:
+        net_idx = module.instances[inst_idx].pin_nets.get(pin)
+        if net_idx is None:
+            return []
+        net = module.nets[net_idx]
+    path: List[int] = []
+    guard = 0
+    while net is not None and guard < 10000:
+        guard += 1
+        drv = net.driver
+        if drv is None or drv[0] < 0:
+            break
+        drv_idx = drv[0]
+        path.append(drv_idx)
+        inst = module.instances[drv_idx]
+        cell = library.cell(inst.cell_name)
+        if cell.is_sequential:
+            break
+        # Step to the input net with the largest arrival.
+        best_net = None
+        best_arrival = -1.0
+        for pin_name, net_idx in inst.pin_nets.items():
+            if cell.pin(pin_name).direction.value != "input":
+                continue
+            a = report.arrival_ps.get(net_idx, 0.0)
+            if a > best_arrival:
+                best_arrival = a
+                best_net = module.nets[net_idx]
+        net = best_net
+    return path
+
+
+def upsize_critical(module: Module, library, report: TimingReport,
+                    max_changes: int = 50) -> int:
+    """Upsize cells along the critical path; returns change count."""
+    path = trace_critical_path(module, library, report)
+    changes = 0
+    for inst_idx in path:
+        if changes >= max_changes:
+            break
+        inst = module.instances[inst_idx]
+        cell = library.cell(inst.cell_name)
+        if cell.is_sequential and cell.strength >= 2.0:
+            continue
+        bigger = library.size_up(cell)
+        if bigger is not None:
+            module.resize_instance(inst, bigger.name)
+            changes += 1
+    return changes
+
+
+def recover_power(module: Module, library, analyzer: TimingAnalyzer,
+                  report: TimingReport, slack_margin_ps: float) -> int:
+    """Downsize cells whose endpoint slack affords it; returns count.
+
+    A cell is a candidate when every endpoint in its fanout cone has
+    comfortable slack; we approximate the cone check with the net arrival
+    slack of its output (fast, safe at the margins used).
+    """
+    if report.wns_ps < 0.0:
+        return 0
+    changes = 0
+    clock_ps = report.clock_ps
+    for inst in module.instances:
+        cell = library.cell(inst.cell_name)
+        if cell.strength <= 1.0:
+            continue
+        out_nets = [net_idx for pin, net_idx in inst.pin_nets.items()
+                    if cell.pin(pin).direction.value == "output"]
+        if not out_nets:
+            continue
+        arrival = max(report.arrival_ps.get(n, 0.0) for n in out_nets)
+        local_slack = clock_ps - arrival
+        if local_slack < slack_margin_ps:
+            continue
+        smaller = library.size_down(cell)
+        if smaller is None:
+            continue
+        module.resize_instance(inst, smaller.name)
+        changes += 1
+    return changes

@@ -1,0 +1,6 @@
+"""Placement: floorplanning, analytic global placement, legalization."""
+
+from repro.place.floorplan import Floorplan
+from repro.place.placer import Placer, PlacementResult
+
+__all__ = ["Floorplan", "Placer", "PlacementResult"]

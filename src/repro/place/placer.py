@@ -1,0 +1,72 @@
+"""Top-level placer: floorplan -> quadratic solve -> spread -> legalize."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+from repro.circuits.netlist import Module
+from repro.place.floorplan import Floorplan
+from repro.place.quadratic import place_global
+from repro.place.legalize import legalize
+
+
+@dataclass
+class PlacementResult:
+    """Placement outcome: positions live on the module's instances."""
+
+    floorplan: Floorplan
+    hpwl_um: float
+    utilization: float
+
+
+class Placer:
+    """Analytic standard-cell placer (Encounter placement substitute)."""
+
+    def __init__(self, library, target_utilization: float = 0.80) -> None:
+        self.library = library
+        self.target_utilization = target_utilization
+
+    def run(self, module: Module,
+            floorplan: Optional[Floorplan] = None) -> PlacementResult:
+        fp = floorplan or Floorplan.for_module(
+            module, self.library, self.target_utilization)
+        x, y = place_global(module, self.library, fp)
+        legalize(module, self.library, fp, x, y)
+        return PlacementResult(
+            floorplan=fp,
+            hpwl_um=total_hpwl(module, fp),
+            utilization=fp.utilization_of(module, self.library),
+        )
+
+
+def total_hpwl(module: Module, floorplan: Floorplan) -> float:
+    """Half-perimeter wirelength over all signal nets, um."""
+    total = 0.0
+    for net in module.nets:
+        if net.is_clock:
+            continue
+        xs, ys = [], []
+        if net.driver is not None and net.driver[0] >= 0:
+            inst = module.instances[net.driver[0]]
+            xs.append(inst.x_um)
+            ys.append(inst.y_um)
+        elif net.driver is not None:
+            pos = floorplan.io_positions.get(net.index)
+            if pos:
+                xs.append(pos[0])
+                ys.append(pos[1])
+        for inst_idx, _pin in net.sinks:
+            if inst_idx >= 0:
+                inst = module.instances[inst_idx]
+                xs.append(inst.x_um)
+                ys.append(inst.y_um)
+            else:
+                pos = floorplan.io_positions.get(net.index)
+                if pos:
+                    xs.append(pos[0])
+                    ys.append(pos[1])
+        if len(xs) >= 2:
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total

@@ -1,0 +1,11 @@
+"""Statistical power analysis (Encounter power-analysis substitute)."""
+
+from repro.power.activity import ActivityReport, propagate_activity
+from repro.power.analysis import PowerReport, analyze_power
+
+__all__ = [
+    "ActivityReport",
+    "propagate_activity",
+    "PowerReport",
+    "analyze_power",
+]

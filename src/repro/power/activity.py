@@ -1,0 +1,103 @@
+"""Switching-activity propagation.
+
+The paper's statistical power analysis assigns activity factors to primary
+inputs (0.2) and sequential-cell outputs (0.1) and propagates them through
+the combinational network (Section 2, Supplement S10).  We implement the
+standard signal-probability + transition-density propagation (Najm): for
+each gate output, the density is the sum over inputs of the input density
+weighted by the probability that the gate's boolean difference w.r.t. that
+input is true.
+
+Clock nets carry density 2.0 (two transitions per cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import PowerError
+from repro.cells import logic
+from repro.circuits.netlist import Module
+from repro.timing.graph import levelize
+
+DEFAULT_PI_ACTIVITY = 0.2
+DEFAULT_SEQ_ACTIVITY = 0.1
+CLOCK_ACTIVITY = 2.0
+
+
+@dataclass
+class ActivityReport:
+    """Per-net switching activity."""
+
+    density: Dict[int, float] = field(default_factory=dict)   # toggles/cycle
+    probability: Dict[int, float] = field(default_factory=dict)
+
+    def net_density(self, net_idx: int) -> float:
+        return self.density.get(net_idx, 0.0)
+
+
+def propagate_activity(module: Module, library,
+                       pi_activity: float = DEFAULT_PI_ACTIVITY,
+                       seq_activity: float = DEFAULT_SEQ_ACTIVITY
+                       ) -> ActivityReport:
+    """Propagate switching activity through the netlist."""
+    if pi_activity < 0.0 or seq_activity < 0.0:
+        raise PowerError("activity factors must be non-negative")
+    report = ActivityReport()
+    is_seq = [library.cell(i.cell_name).is_sequential
+              for i in module.instances]
+
+    for net_idx in module.primary_inputs:
+        net = module.nets[net_idx]
+        if net.is_clock:
+            report.density[net_idx] = CLOCK_ACTIVITY
+            report.probability[net_idx] = 0.5
+        else:
+            report.density[net_idx] = pi_activity
+            report.probability[net_idx] = 0.5
+
+    for inst in module.instances:
+        if not is_seq[inst.index]:
+            continue
+        cell = library.cell(inst.cell_name)
+        for pin_name, net_idx in inst.pin_nets.items():
+            if cell.pin(pin_name).direction.value == "output":
+                report.density[net_idx] = seq_activity
+                report.probability[net_idx] = 0.5
+
+    order = levelize(module, library)
+    for inst_idx in order:
+        inst = module.instances[inst_idx]
+        cell = library.cell(inst.cell_name)
+        cell_type = cell.cell_type
+        if not logic.is_combinational(cell_type):
+            continue
+        input_probs: Dict[str, float] = {}
+        input_density: Dict[str, float] = {}
+        for pin_name, net_idx in inst.pin_nets.items():
+            if cell.pin(pin_name).direction.value != "input":
+                continue
+            input_probs[pin_name] = report.probability.get(net_idx, 0.5)
+            input_density[pin_name] = report.density.get(net_idx, 0.0)
+        out_probs = logic.output_probabilities(cell_type, input_probs)
+        for pin_name, net_idx in inst.pin_nets.items():
+            if cell.pin(pin_name).direction.value != "output":
+                continue
+            prob = out_probs.get(pin_name)
+            if prob is None:
+                # Secondary output of a multi-output cell without a
+                # dedicated table entry: reuse the first output's value.
+                prob = next(iter(out_probs.values()))
+            density = 0.0
+            for in_pin, d_in in input_density.items():
+                out_pin_for_bd = pin_name if pin_name in out_probs \
+                    else next(iter(out_probs))
+                bd = logic.boolean_difference_probability(
+                    cell_type, in_pin, out_pin_for_bd, input_probs)
+                density += bd * d_in
+            prev = report.density.get(net_idx)
+            if prev is None or density > prev:
+                report.density[net_idx] = density
+                report.probability[net_idx] = prob
+    return report

@@ -1,0 +1,13 @@
+"""Global routing: Steiner topologies, tile grid, layer assignment."""
+
+from repro.route.steiner import rsmt_length_um, rsmt_edges
+from repro.route.grid import RoutingGrid
+from repro.route.router import GlobalRouter, RoutingResult
+
+__all__ = [
+    "rsmt_length_um",
+    "rsmt_edges",
+    "RoutingGrid",
+    "GlobalRouter",
+    "RoutingResult",
+]

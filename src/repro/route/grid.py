@@ -1,0 +1,144 @@
+"""Routing grid: tiles and per-layer-class track capacity.
+
+A tile's capacity for one layer class is the total wirelength the class
+can carry through it: (number of layers in the class) x (tracks per tile)
+x (tile span), derated by the usual global-routing fill limit.  The T-MI
+stack's three extra *local* layers raise local capacity only — the
+mechanism behind the 7 nm LDPC congestion discussion (Section 6) and the
+Table 17 stack study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.tech.metal import LayerClass, MetalStack
+
+# Usable fraction of theoretical track capacity (blockages, vias, power).
+FILL_LIMIT = 0.75
+# Tiles per core edge (the paper's layouts are a few hundred tiles wide;
+# a fixed count keeps runtime scale-independent).
+TILES_PER_EDGE = 32
+
+
+@dataclass
+class RoutingGrid:
+    """Tile grid over the core with per-class capacity."""
+
+    width_um: float
+    height_um: float
+    n_x: int
+    n_y: int
+    # class -> wirelength capacity per tile, um.
+    tile_capacity_um: Dict[LayerClass, float]
+    # class -> demand map, um of wire per tile.
+    demand: Dict[LayerClass, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for cls in self.tile_capacity_um:
+            self.demand[cls] = np.zeros((self.n_x, self.n_y))
+
+    @classmethod
+    def for_core(cls, width_um: float, height_um: float,
+                 stack: MetalStack) -> "RoutingGrid":
+        if width_um <= 0 or height_um <= 0:
+            raise RoutingError("core dimensions must be positive")
+        n_x = n_y = TILES_PER_EDGE
+        tile_w = width_um / n_x
+        capacity: Dict[LayerClass, float] = {}
+        for layer_class in (LayerClass.LOCAL, LayerClass.INTERMEDIATE,
+                            LayerClass.GLOBAL):
+            layers = stack.layers_in_class(layer_class)
+            if not layers:
+                continue
+            cap = 0.0
+            for layer in layers:
+                tracks = tile_w / layer.pitch_um
+                cap += tracks * tile_w * FILL_LIMIT
+            capacity[layer_class] = cap
+        return cls(width_um=width_um, height_um=height_um,
+                   n_x=n_x, n_y=n_y, tile_capacity_um=capacity)
+
+    # -- demand accounting ----------------------------------------------------
+
+    def _tile_of(self, x_um: float, y_um: float) -> Tuple[int, int]:
+        tx = min(max(int(x_um / self.width_um * self.n_x), 0), self.n_x - 1)
+        ty = min(max(int(y_um / self.height_um * self.n_y), 0), self.n_y - 1)
+        return tx, ty
+
+    def add_edge_demand(self, layer_class: LayerClass,
+                        x0: float, y0: float, x1: float, y1: float) -> None:
+        """Book an edge's wirelength over the tiles it crosses.
+
+        Probabilistic L-routing: half the demand follows the lower-L
+        (horizontal first), half the upper-L (vertical first), the usual
+        congestion-estimation smoothing.  Each tile is charged the actual
+        length the leg runs inside it.
+        """
+        if layer_class not in self.demand:
+            raise RoutingError(f"no {layer_class.value} capacity in grid")
+        self._book_l(layer_class, x0, y0, x1, y1, 0.5)
+        self._book_l(layer_class, x1, y1, x0, y0, 0.5)
+
+    def _book_l(self, layer_class: LayerClass, x0: float, y0: float,
+                x1: float, y1: float, weight: float) -> None:
+        """One L route: horizontal at y0 from x0..x1, vertical at x1."""
+        dm = self.demand[layer_class]
+        tile_w = self.width_um / self.n_x
+        tile_h = self.height_um / self.n_y
+        _tx, ty0 = self._tile_of(x0, y0)
+        xa, xb = sorted((x0, x1))
+        tx_lo, _ = self._tile_of(xa, y0)
+        tx_hi, _ = self._tile_of(xb, y0)
+        for tx in range(tx_lo, tx_hi + 1):
+            seg_lo = max(xa, tx * tile_w)
+            seg_hi = min(xb, (tx + 1) * tile_w)
+            if seg_hi > seg_lo:
+                dm[tx, ty0] += (seg_hi - seg_lo) * weight
+        tx1, _ = self._tile_of(x1, y0)
+        ya, yb = sorted((y0, y1))
+        _, ty_lo = self._tile_of(x1, ya)
+        _, ty_hi = self._tile_of(x1, yb)
+        for ty in range(ty_lo, ty_hi + 1):
+            seg_lo = max(ya, ty * tile_h)
+            seg_hi = min(yb, (ty + 1) * tile_h)
+            if seg_hi > seg_lo:
+                dm[tx1, ty] += (seg_hi - seg_lo) * weight
+
+    # -- congestion metrics -----------------------------------------------------
+
+    def overflow_ratio(self, layer_class: LayerClass) -> float:
+        """Mean over tiles of demand/capacity (1.0 = full)."""
+        cap = self.tile_capacity_um.get(layer_class)
+        if not cap:
+            return 0.0
+        return float(self.demand[layer_class].mean() / cap)
+
+    def peak_overflow_ratio(self, layer_class: LayerClass) -> float:
+        """Mean demand/capacity over the busiest 5 % of tiles.
+
+        Robust to both uniform demand (equals ~p95) and sparse hot rows
+        (where a plain percentile would read zero).
+        """
+        cap = self.tile_capacity_um.get(layer_class)
+        if not cap:
+            return 0.0
+        flat = np.sort(self.demand[layer_class].ravel())
+        top = flat[-max(1, flat.size // 20):]
+        return float(top.mean() / cap)
+
+    def worst_overflow(self) -> float:
+        """Worst 95th-percentile overflow across classes."""
+        return max((self.peak_overflow_ratio(c)
+                    for c in self.tile_capacity_um), default=0.0)
+
+    def density_map(self, layer_class: LayerClass) -> np.ndarray:
+        """Demand/capacity per tile (the Fig. 3 / Fig. 10 visual)."""
+        cap = self.tile_capacity_um.get(layer_class)
+        if not cap:
+            return np.zeros((self.n_x, self.n_y))
+        return self.demand[layer_class] / cap

@@ -1,0 +1,257 @@
+"""Congestion-aware global router with layer assignment.
+
+For every signal net the router builds a rectilinear Steiner topology over
+its pin positions, picks a layer class by length preference (local for
+short nets, intermediate for medium, global for long — the preference
+Section 6 describes, driven by unit resistance), spills nets to adjacent
+classes when a class fills up, books tile demand, and applies a detour
+factor where tiles overflow.
+
+Outputs per net: routed length, layer class, lumped R and C (unit values
+of the class from the interconnect model); plus per-class wirelength
+totals (Fig. 10), congestion maps (Fig. 3), and the MB1 share for T-MI
+designs (the paper: ~0.3 % of wirelength).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.circuits.netlist import Module, Net
+from repro.place.floorplan import Floorplan
+from repro.route.grid import RoutingGrid
+from repro.route.steiner import rsmt_edges, rsmt_length_um, MAX_EXACT_PINS
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import LayerClass
+
+# Via-stack delay penalty for reaching higher layer classes, ps: the
+# cost a net must amortize before the lower unit resistance pays off.
+VIA_PENALTY_INTERMEDIATE_PS = 5.0
+VIA_PENALTY_GLOBAL_PS = 15.0
+# Detour growth per unit of average overflow above 1.0.
+DETOUR_COEFF = 0.35
+# Share of the very shortest T-MI nets that dip onto MB1.
+MB1_NET_FRACTION = 0.04
+MB1_LENGTH_SHARE = 0.20   # of those nets' length
+
+
+@dataclass
+class RoutingResult:
+    """Global-routing outcome."""
+
+    lengths_um: Dict[int, float]
+    resistances_kohm: Dict[int, float]
+    capacitances_ff: Dict[int, float]
+    layer_class: Dict[int, LayerClass]
+    grid: RoutingGrid
+    total_wirelength_um: float
+    wirelength_by_class: Dict[LayerClass, float]
+    mb1_wirelength_um: float
+    detour_factor: float
+
+    @property
+    def congested(self) -> bool:
+        return self.grid.worst_overflow() > 1.0
+
+    def mb1_share(self) -> float:
+        if self.total_wirelength_um <= 0.0:
+            return 0.0
+        return self.mb1_wirelength_um / self.total_wirelength_um
+
+
+class GlobalRouter:
+    """Route a placed module over a metal stack."""
+
+    def __init__(self, library, interconnect: InterconnectModel,
+                 floorplan: Floorplan) -> None:
+        self.library = library
+        self.interconnect = interconnect
+        self.floorplan = floorplan
+
+    # -- helpers -----------------------------------------------------------
+
+    def _net_points(self, module: Module, net: Net
+                    ) -> List[Tuple[float, float]]:
+        points = []
+        if net.driver is not None:
+            if net.driver[0] >= 0:
+                inst = module.instances[net.driver[0]]
+                points.append((inst.x_um, inst.y_um))
+            else:
+                pos = self.floorplan.io_positions.get(net.index)
+                if pos:
+                    points.append(pos)
+        for inst_idx, _pin in net.sinks:
+            if inst_idx >= 0:
+                inst = module.instances[inst_idx]
+                points.append((inst.x_um, inst.y_um))
+            else:
+                pos = self.floorplan.io_positions.get(net.index)
+                if pos:
+                    points.append(pos)
+        return points
+
+    def _class_crossover_um(self, lower: LayerClass, upper: LayerClass,
+                            penalty_ps: float) -> float:
+        """Net length beyond which the upper class is faster.
+
+        Delay-based preference (the Section 6 router behaviour): the
+        upper class costs a via-stack penalty but has lower unit RC, so
+        there is a crossover length  L = sqrt(4 p / (ln2 (rl cl - ru cu))).
+        At 45 nm local wires are benign and the crossover sits near the
+        core dimension; at 7 nm the 638 ohm/um local layers push it down
+        to tens of um — both emerge from the same formula.
+        """
+        try:
+            lo = self.interconnect.class_rc(lower)
+            hi = self.interconnect.class_rc(upper)
+        except Exception:
+            return float("inf")
+        rc_lo = lo.resistance_kohm_per_um * lo.capacitance_ff_per_um
+        rc_hi = hi.resistance_kohm_per_um * hi.capacitance_ff_per_um
+        delta = rc_lo - rc_hi
+        if delta <= 0.0:
+            return float("inf")
+        return math.sqrt(4.0 * penalty_ps / (math.log(2.0) * delta))
+
+    def _preferred_class(self, length_um: float) -> LayerClass:
+        if not hasattr(self, "_xover_local"):
+            self._xover_local = self._class_crossover_um(
+                LayerClass.LOCAL, LayerClass.INTERMEDIATE,
+                VIA_PENALTY_INTERMEDIATE_PS)
+            self._xover_intermediate = self._class_crossover_um(
+                LayerClass.INTERMEDIATE, LayerClass.GLOBAL,
+                VIA_PENALTY_GLOBAL_PS)
+        if length_um <= self._xover_local:
+            return LayerClass.LOCAL
+        if length_um <= self._xover_intermediate:
+            return LayerClass.INTERMEDIATE
+        return LayerClass.GLOBAL
+
+    # -- main ---------------------------------------------------------------
+
+    def run(self, module: Module,
+            include_clock: bool = True) -> RoutingResult:
+        grid = RoutingGrid.for_core(self.floorplan.width_um,
+                                    self.floorplan.height_um,
+                                    self.interconnect.stack)
+        # Pass 1: topologies and preferred classes.
+        net_length: Dict[int, float] = {}
+        net_points: Dict[int, List[Tuple[float, float]]] = {}
+        for net in module.nets:
+            if net.is_clock and not include_clock:
+                continue
+            points = self._net_points(module, net)
+            length = rsmt_length_um(points)
+            net_length[net.index] = length
+            net_points[net.index] = points
+
+        # Layer assignment: each net first tries the class its length
+        # prefers (long nets avoid the resistive local layers — the
+        # Section 6 router preference), then spills along a class-specific
+        # order while classes are under the fill target; once everything
+        # is full, overflow is balanced by fill ratio.  Shortest nets go
+        # first, as in track-assignment order.
+        class_cap_total = {
+            cls: cap * grid.n_x * grid.n_y
+            for cls, cap in grid.tile_capacity_um.items()
+        }
+        class_used = {cls: 0.0 for cls in class_cap_total}
+        assignment: Dict[int, LayerClass] = {}
+        fill_order = [cls for cls in (LayerClass.LOCAL,
+                                      LayerClass.INTERMEDIATE,
+                                      LayerClass.GLOBAL)
+                      if cls in class_cap_total]
+        spill = {
+            LayerClass.LOCAL: (LayerClass.LOCAL, LayerClass.INTERMEDIATE,
+                               LayerClass.GLOBAL),
+            LayerClass.INTERMEDIATE: (LayerClass.INTERMEDIATE,
+                                      LayerClass.LOCAL,
+                                      LayerClass.GLOBAL),
+            LayerClass.GLOBAL: (LayerClass.GLOBAL,
+                                LayerClass.INTERMEDIATE,
+                                LayerClass.LOCAL),
+        }
+        fill_target = 0.85
+        for net_idx in sorted(net_length, key=net_length.get):
+            length = net_length[net_idx]
+            preferred = self._preferred_class(length)
+            chosen = None
+            for cls in spill.get(preferred, tuple(fill_order)):
+                if cls not in class_cap_total:
+                    continue
+                if (class_used[cls] + length
+                        <= class_cap_total[cls] * fill_target):
+                    chosen = cls
+                    break
+            if chosen is None:
+                # Everything is at the fill target: balance the overflow
+                # across classes by current fill ratio.
+                chosen = min(fill_order,
+                             key=lambda c: class_used[c]
+                             / class_cap_total[c])
+            assignment[net_idx] = chosen
+            class_used[chosen] += length
+
+        # Pass 2: book tile demand along L-routed tree edges.
+        for net_idx, points in net_points.items():
+            if len(points) < 2:
+                continue
+            cls = assignment[net_idx]
+            if cls not in grid.tile_capacity_um:
+                continue
+            if len(points) <= MAX_EXACT_PINS:
+                for a, b in rsmt_edges(points):
+                    grid.add_edge_demand(cls, points[a][0], points[a][1],
+                                         points[b][0], points[b][1])
+            else:
+                xs = [p[0] for p in points]
+                ys = [p[1] for p in points]
+                grid.add_edge_demand(cls, min(xs), min(ys), max(xs), max(ys))
+
+        # Per-class detour factors from that class's peak overflow.
+        detour_by_class: Dict[LayerClass, float] = {}
+        for cls in class_cap_total:
+            over = max(0.0, grid.peak_overflow_ratio(cls) - 1.0)
+            detour_by_class[cls] = min(1.0 + DETOUR_COEFF * over, 1.35)
+        detour = max(detour_by_class.values()) if detour_by_class else 1.0
+
+        lengths: Dict[int, float] = {}
+        res: Dict[int, float] = {}
+        cap: Dict[int, float] = {}
+        by_class: Dict[LayerClass, float] = {
+            cls: 0.0 for cls in class_cap_total}
+        total = 0.0
+        for net_idx, base_len in net_length.items():
+            cls = assignment[net_idx]
+            length = base_len * detour_by_class.get(cls, 1.0)
+            rc = self.interconnect.class_rc(cls) \
+                if cls in grid.tile_capacity_um \
+                else self.interconnect.class_rc(LayerClass.LOCAL)
+            lengths[net_idx] = length
+            res[net_idx] = length * rc.resistance_kohm_per_um
+            cap[net_idx] = length * rc.capacitance_ff_per_um
+            by_class[cls] = by_class.get(cls, 0.0) + length
+            total += length
+
+        # MB1 usage for T-MI: the shortest nets dip to the bottom tier.
+        mb1_len = 0.0
+        if self.interconnect.stack.is_3d and net_length:
+            ordered = sorted(net_length, key=net_length.get)
+            take = max(1, int(len(ordered) * MB1_NET_FRACTION))
+            for net_idx in ordered[:take]:
+                mb1_len += lengths.get(net_idx, 0.0) * MB1_LENGTH_SHARE
+
+        return RoutingResult(
+            lengths_um=lengths,
+            resistances_kohm=res,
+            capacitances_ff=cap,
+            layer_class=assignment,
+            grid=grid,
+            total_wirelength_um=total,
+            wirelength_by_class=by_class,
+            mb1_wirelength_um=mb1_len,
+            detour_factor=detour,
+        )

@@ -1,0 +1,72 @@
+"""Rectilinear Steiner topology construction.
+
+Net topologies come from a rectilinear minimum spanning tree (Prim),
+scaled by the usual RSMT correction: an RMST overestimates the Steiner
+minimum by ~12 % on random instances, and Steiner points recover most of
+it.  For very-high-fanout nets (above ``MAX_EXACT_PINS``) the HPWL-based
+estimate with a fanout correction is used instead — those nets get
+buffer-tree'd by optimization anyway.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.timing.netmodel import steiner_correction
+
+# Prim is O(k^2); beyond this pin count fall back to the HPWL estimate.
+MAX_EXACT_PINS = 48
+# RMST -> RSMT expected improvement.
+RSMT_FACTOR = 0.88
+
+Point = Tuple[float, float]
+
+
+def rsmt_edges(points: Sequence[Point]) -> List[Tuple[int, int]]:
+    """Rectilinear MST edges (index pairs) via Prim's algorithm."""
+    k = len(points)
+    if k < 2:
+        return []
+    xs = np.array([p[0] for p in points])
+    ys = np.array([p[1] for p in points])
+    in_tree = np.zeros(k, dtype=bool)
+    best_dist = np.full(k, np.inf)
+    best_parent = np.full(k, -1, dtype=int)
+    in_tree[0] = True
+    d0 = np.abs(xs - xs[0]) + np.abs(ys - ys[0])
+    best_dist = np.minimum(best_dist, d0)
+    best_parent[:] = 0
+    best_dist[0] = np.inf
+    edges: List[Tuple[int, int]] = []
+    for _ in range(k - 1):
+        nxt = int(np.argmin(best_dist))
+        edges.append((int(best_parent[nxt]), nxt))
+        in_tree[nxt] = True
+        d = np.abs(xs - xs[nxt]) + np.abs(ys - ys[nxt])
+        update = (~in_tree) & (d < best_dist)
+        best_dist[update] = d[update]
+        best_parent[update] = nxt
+        best_dist[nxt] = np.inf
+    return edges
+
+
+def rsmt_length_um(points: Sequence[Point]) -> float:
+    """Estimated rectilinear Steiner length of a pin set, um."""
+    k = len(points)
+    if k < 2:
+        return 0.0
+    if k > MAX_EXACT_PINS:
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return hpwl * steiner_correction(k - 1)
+    edges = rsmt_edges(points)
+    mst_len = sum(abs(points[a][0] - points[b][0])
+                  + abs(points[a][1] - points[b][1]) for a, b in edges)
+    if k <= 3:
+        # The RMST is already Steiner-optimal for 2 pins and within a
+        # whisker for 3; no correction.
+        return mst_len
+    return mst_len * RSMT_FACTOR

@@ -1,0 +1,6 @@
+"""Synthesis: wire-load models and the Design Compiler substitute."""
+
+from repro.synth.wlm import WireLoadModel
+from repro.synth.synthesis import Synthesizer, SynthesisResult
+
+__all__ = ["WireLoadModel", "Synthesizer", "SynthesisResult"]

@@ -1,0 +1,55 @@
+"""Technology modeling: nodes, metal stacks, interconnect RC, MIVs, ITRS data.
+
+This package is the substitute for the foundry/ITRS data and the Cadence
+capTable / QRC Techgen interconnect libraries used by the paper.  It defines:
+
+* :class:`~repro.tech.node.TechNode` — the 45 nm and 7 nm technology nodes
+  (Table 6 of the paper),
+* :class:`~repro.tech.metal.MetalStack` — the 2D, T-MI, and T-MI+M metal
+  layer stacks (Table 3 and Fig. 9),
+* :mod:`~repro.tech.interconnect` — unit-length wire R and C derived from
+  layer geometry with a size-effect resistivity model (Section 5),
+* :mod:`~repro.tech.miv` — monolithic inter-tier via parasitics,
+* :mod:`~repro.tech.itrs` — the ITRS projection data of Table 10,
+* :mod:`~repro.tech.scaling` — the 45 nm → 7 nm library scaling factors of
+  Section S3 / Table 11.
+"""
+
+from repro.tech.node import TechNode, NODE_45NM, NODE_7NM, get_node
+from repro.tech.metal import (
+    MetalLayer,
+    MetalStack,
+    LayerClass,
+    build_stack_2d,
+    build_stack_tmi,
+    build_stack_tmi_modified,
+)
+from repro.tech.interconnect import (
+    SizeEffectResistivity,
+    InterconnectModel,
+    WireRC,
+)
+from repro.tech.miv import MIVModel
+from repro.tech.itrs import ITRS_PROJECTIONS, ItrsEntry
+from repro.tech.scaling import ScalingFactors, SCALING_45_TO_7
+
+__all__ = [
+    "TechNode",
+    "NODE_45NM",
+    "NODE_7NM",
+    "get_node",
+    "MetalLayer",
+    "MetalStack",
+    "LayerClass",
+    "build_stack_2d",
+    "build_stack_tmi",
+    "build_stack_tmi_modified",
+    "SizeEffectResistivity",
+    "InterconnectModel",
+    "WireRC",
+    "MIVModel",
+    "ITRS_PROJECTIONS",
+    "ItrsEntry",
+    "ScalingFactors",
+    "SCALING_45_TO_7",
+]

@@ -1,0 +1,71 @@
+"""capTable export — the Cadence capTable / QRC Techgen artifact.
+
+The paper builds "interconnect RC libraries using Cadence capTable
+generator and QRC Techgen"; this module renders our
+:class:`~repro.tech.interconnect.InterconnectModel` in a capTable-style
+text format (per-layer unit R/C at width/spacing corners) so the numbers
+the flow uses are inspectable in the shape EDA engineers expect.
+
+It also provides simple extraction corners: ``min`` / ``typ`` / ``max``
+scale the unit R and C the way signoff corners derate interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, TextIO
+
+from repro.errors import TechnologyError
+from repro.tech.interconnect import InterconnectModel
+
+# Corner derating factors applied to (R, C).
+CORNERS: Dict[str, tuple] = {
+    "min": (0.85, 0.88),
+    "typ": (1.00, 1.00),
+    "max": (1.18, 1.12),
+}
+
+
+@dataclass(frozen=True)
+class CornerRC:
+    """Unit RC of one layer at one extraction corner."""
+
+    layer_name: str
+    corner: str
+    resistance_ohm_per_um: float
+    capacitance_ff_per_um: float
+
+
+def corner_rc(model: InterconnectModel, layer_name: str,
+              corner: str = "typ") -> CornerRC:
+    """Unit RC of a layer derated to an extraction corner."""
+    try:
+        r_scale, c_scale = CORNERS[corner]
+    except KeyError:
+        known = ", ".join(sorted(CORNERS))
+        raise TechnologyError(
+            f"unknown extraction corner {corner!r} (known: {known})")
+    rc = model.wire_rc(layer_name)
+    return CornerRC(
+        layer_name=layer_name,
+        corner=corner,
+        resistance_ohm_per_um=rc.resistance_ohm_per_um * r_scale,
+        capacitance_ff_per_um=rc.capacitance_ff_per_um * c_scale,
+    )
+
+
+def write_captable(model: InterconnectModel, stream: TextIO) -> None:
+    """Write the full stack's capTable-style text."""
+    node = model.node
+    stream.write(f"# capTable for stack {model.stack.name}\n")
+    stream.write(f"# node {node.name}, BEOL ILD k = {node.beol_ild_k}\n")
+    stream.write("# layer  width(nm)  spacing(nm)  thickness(nm)  "
+                 "corner  R(ohm/um)  C(fF/um)\n")
+    for layer in model.stack:
+        for corner in ("min", "typ", "max"):
+            rc = corner_rc(model, layer.name, corner)
+            stream.write(
+                f"{layer.name:6s} {layer.width_nm:9.1f} "
+                f"{layer.spacing_nm:11.1f} {layer.thickness_nm:13.1f} "
+                f"{corner:7s} {rc.resistance_ohm_per_um:10.4g} "
+                f"{rc.capacitance_ff_per_um:9.4g}\n")

@@ -1,0 +1,60 @@
+"""ITRS projection data used by the paper (Table 10 of the supplement).
+
+The 45 nm values come from ITRS 2008 and the 7 nm projection from ITRS 2011
+(7 nm sits near the end of that roadmap, year 2025).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class ItrsEntry:
+    """One node's row of Table 10 (high-performance logic projection)."""
+
+    node: str
+    year: int
+    device_type: str
+    nmos_drive_current_ua_per_um: float
+    cu_effective_resistivity_uohm_cm: float     # local/intermediate layers
+    cu_unit_length_capacitance_ff_per_um: float  # local/intermediate layers
+
+
+ITRS_PROJECTIONS: Dict[str, ItrsEntry] = {
+    "45nm": ItrsEntry(
+        node="45nm",
+        year=2010,
+        device_type="bulk Si",
+        nmos_drive_current_ua_per_um=1210.0,
+        cu_effective_resistivity_uohm_cm=4.08,
+        cu_unit_length_capacitance_ff_per_um=0.19,
+    ),
+    "7nm": ItrsEntry(
+        node="7nm",
+        year=2025,
+        device_type="multi-gate",
+        nmos_drive_current_ua_per_um=2228.0,
+        cu_effective_resistivity_uohm_cm=15.02,
+        cu_unit_length_capacitance_ff_per_um=0.15,
+    ),
+}
+
+
+def itrs_entry(node_name: str) -> ItrsEntry:
+    """Look up the ITRS projection for a node name."""
+    try:
+        return ITRS_PROJECTIONS[node_name]
+    except KeyError:
+        known = ", ".join(sorted(ITRS_PROJECTIONS))
+        raise TechnologyError(
+            f"no ITRS projection for {node_name!r} (known: {known})")
+
+
+def resistivity_increase_ratio() -> float:
+    """The paper's headline "3.7x larger effective resistivity" at 7 nm."""
+    return (ITRS_PROJECTIONS["7nm"].cu_effective_resistivity_uohm_cm
+            / ITRS_PROJECTIONS["45nm"].cu_effective_resistivity_uohm_cm)

@@ -1,0 +1,227 @@
+"""Metal layer stacks for 2D, T-MI, and the modified T-MI+M setup.
+
+Reproduces Table 3 and Fig. 9 of the paper.  At 45 nm the baseline 2D stack
+uses 8 of the 10 Nangate metal layers; T-MI adds a bottom-tier metal (MB1)
+and three extra local layers on the top tier:
+
+==============  =============  =================  =====================
+layer class     2D layers      T-MI layers        T-MI+M layers
+==============  =============  =================  =====================
+M1-class        M1             MB1, M1            MB1, M1
+local           M2-3           M2-6               M2-5
+intermediate    M4-6           M7-9               M6-10
+global          M7-8           M10-11             M11-12
+==============  =============  =================  =====================
+
+(For T-MI+M, per Fig. 9(c), the stack has local = MB1 + M1-5, intermediate
+= M6-10, global = M11-12 — i.e. two of the three extra layers move from the
+local class to the intermediate class.)
+
+Dimensions at 45 nm come straight from Table 3 (width / spacing / thickness
+in nm); the 7 nm stack scales all dimensions by 7/45 = 0.156x (Section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import TechnologyError
+from repro.tech.node import TechNode, NODE_45NM
+
+
+class LayerClass(enum.Enum):
+    """Routing-layer class, ordered from lowest to highest in the stack."""
+
+    M1 = "M1"
+    LOCAL = "local"
+    INTERMEDIATE = "intermediate"
+    GLOBAL = "global"
+
+
+class Tier(enum.Enum):
+    """Which physical tier a layer lives on (monolithic 3D only)."""
+
+    BOTTOM = "bottom"
+    TOP = "top"
+
+
+# Table 3: width, spacing, thickness per class, in nm, at the 45 nm node.
+_DIMS_45NM = {
+    LayerClass.M1: (70.0, 65.0, 130.0),
+    LayerClass.LOCAL: (70.0, 70.0, 140.0),
+    LayerClass.INTERMEDIATE: (140.0, 140.0, 280.0),
+    LayerClass.GLOBAL: (400.0, 400.0, 800.0),
+}
+
+# Vertical ILD distance (nm) between a wire and the conducting plane below
+# it, per class, at 45 nm.  Used by the capacitance model.
+_ILD_BELOW_45NM = {
+    LayerClass.M1: 110.0,
+    LayerClass.LOCAL: 120.0,
+    LayerClass.INTERMEDIATE: 250.0,
+    LayerClass.GLOBAL: 700.0,
+}
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """A single routing layer.
+
+    ``name`` follows the paper's naming: MB1 is the bottom-tier metal of a
+    T-MI stack; M1..Mn count up the top tier.  Horizontal/vertical preferred
+    directions alternate with the layer index.
+    """
+
+    name: str
+    layer_class: LayerClass
+    width_nm: float
+    spacing_nm: float
+    thickness_nm: float
+    tier: Tier
+    horizontal: bool
+    ild_below_nm: float
+
+    @property
+    def pitch_nm(self) -> float:
+        """Routing track pitch (width + spacing)."""
+        return self.width_nm + self.spacing_nm
+
+    @property
+    def pitch_um(self) -> float:
+        return self.pitch_nm / 1000.0
+
+
+class MetalStack:
+    """An ordered collection of metal layers plus class-level queries."""
+
+    def __init__(self, name: str, node: TechNode,
+                 layers: Sequence[MetalLayer]) -> None:
+        if not layers:
+            raise TechnologyError("a metal stack needs at least one layer")
+        self.name = name
+        self.node = node
+        self.layers: List[MetalLayer] = list(layers)
+        self._by_name: Dict[str, MetalLayer] = {l.name: l for l in layers}
+        if len(self._by_name) != len(self.layers):
+            raise TechnologyError(f"duplicate layer names in stack {name!r}")
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def layer(self, name: str) -> MetalLayer:
+        """Look up a layer by name (e.g. "M2", "MB1")."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TechnologyError(
+                f"no layer {name!r} in stack {self.name!r}")
+
+    def layers_in_class(self, layer_class: LayerClass) -> List[MetalLayer]:
+        """All layers of one routing class, bottom-up order."""
+        return [l for l in self.layers if l.layer_class == layer_class]
+
+    def routing_layers(self) -> List[MetalLayer]:
+        """Layers available to the signal router.
+
+        M1-class layers are reserved for cell-internal connections and
+        pin access (plus a tiny fraction of very short nets), matching the
+        paper's observation that MB1 carries only ~0.3 % of net wirelength.
+        """
+        return [l for l in self.layers if l.layer_class != LayerClass.M1]
+
+    def class_summary(self) -> List[dict]:
+        """Rows of Table 3: one entry per layer class."""
+        rows = []
+        for cls in (LayerClass.GLOBAL, LayerClass.INTERMEDIATE,
+                    LayerClass.LOCAL, LayerClass.M1):
+            members = self.layers_in_class(cls)
+            if not members:
+                continue
+            sample = members[0]
+            rows.append({
+                "level": cls.value,
+                "layers": ",".join(l.name for l in members),
+                "width_nm": sample.width_nm,
+                "spacing_nm": sample.spacing_nm,
+                "thickness_nm": sample.thickness_nm,
+            })
+        return rows
+
+    @property
+    def is_3d(self) -> bool:
+        """True if any layer sits on the bottom tier (a monolithic stack)."""
+        return any(l.tier == Tier.BOTTOM for l in self.layers)
+
+
+def _dims_for(node: TechNode, layer_class: LayerClass):
+    """Width/spacing/thickness for one class at the given node (nm)."""
+    scale = node.m2_width_nm / NODE_45NM.m2_width_nm
+    w, s, t = _DIMS_45NM[layer_class]
+    return w * scale, s * scale, t * scale
+
+
+def _ild_for(node: TechNode, layer_class: LayerClass) -> float:
+    scale = node.m2_width_nm / NODE_45NM.m2_width_nm
+    return _ILD_BELOW_45NM[layer_class] * scale
+
+
+def _make_layer(node: TechNode, name: str, layer_class: LayerClass,
+                tier: Tier, index: int) -> MetalLayer:
+    w, s, t = _dims_for(node, layer_class)
+    return MetalLayer(
+        name=name,
+        layer_class=layer_class,
+        width_nm=w,
+        spacing_nm=s,
+        thickness_nm=t,
+        tier=tier,
+        horizontal=(index % 2 == 0),
+        ild_below_nm=_ild_for(node, layer_class),
+    )
+
+
+def _build(node: TechNode, name: str,
+           spec: Sequence) -> MetalStack:
+    """Build a stack from (layer_name, class, tier) triples, bottom-up."""
+    layers = [
+        _make_layer(node, layer_name, layer_class, tier, idx)
+        for idx, (layer_name, layer_class, tier) in enumerate(spec)
+    ]
+    return MetalStack(name=name, node=node, layers=layers)
+
+
+def build_stack_2d(node: TechNode) -> MetalStack:
+    """Baseline 2D stack: M1 + M2-3 local + M4-6 intermediate + M7-8 global."""
+    spec = [("M1", LayerClass.M1, Tier.TOP)]
+    spec += [(f"M{i}", LayerClass.LOCAL, Tier.TOP) for i in (2, 3)]
+    spec += [(f"M{i}", LayerClass.INTERMEDIATE, Tier.TOP) for i in (4, 5, 6)]
+    spec += [(f"M{i}", LayerClass.GLOBAL, Tier.TOP) for i in (7, 8)]
+    return _build(node, f"2D-{node.name}", spec)
+
+
+def build_stack_tmi(node: TechNode) -> MetalStack:
+    """T-MI stack: MB1 (bottom tier) + M1 + M2-6 local + M7-9 int + M10-11 glb."""
+    spec = [("MB1", LayerClass.M1, Tier.BOTTOM),
+            ("M1", LayerClass.M1, Tier.TOP)]
+    spec += [(f"M{i}", LayerClass.LOCAL, Tier.TOP) for i in range(2, 7)]
+    spec += [(f"M{i}", LayerClass.INTERMEDIATE, Tier.TOP) for i in range(7, 10)]
+    spec += [(f"M{i}", LayerClass.GLOBAL, Tier.TOP) for i in (10, 11)]
+    return _build(node, f"T-MI-{node.name}", spec)
+
+
+def build_stack_tmi_modified(node: TechNode) -> MetalStack:
+    """T-MI+M stack of Fig. 9(c): 2 extra local + 2 extra intermediate layers.
+
+    Local = MB1, M1-5; intermediate = M6-10; global = M11-12.
+    """
+    spec = [("MB1", LayerClass.M1, Tier.BOTTOM),
+            ("M1", LayerClass.M1, Tier.TOP)]
+    spec += [(f"M{i}", LayerClass.LOCAL, Tier.TOP) for i in range(2, 6)]
+    spec += [(f"M{i}", LayerClass.INTERMEDIATE, Tier.TOP) for i in range(6, 11)]
+    spec += [(f"M{i}", LayerClass.GLOBAL, Tier.TOP) for i in (11, 12)]
+    return _build(node, f"T-MI+M-{node.name}", spec)

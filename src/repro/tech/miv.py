@@ -1,0 +1,79 @@
+"""Monolithic inter-tier via (MIV) model.
+
+MIVs are the nano-scale vertical connections of monolithic 3D integration:
+~70 nm diameter at the 45 nm node — two orders of magnitude smaller than a
+TSV — spanning the inter-tier ILD plus the thin top-tier substrate, with
+"almost negligible parasitic RC" (Section 1 of the paper).  We compute the
+actual (small) values from geometry so cell extraction can include them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TechnologyError
+from repro.tech.interconnect import EPS0_FF_PER_UM
+from repro.tech.node import TechNode
+
+# Tungsten-like fill resistivity for the via plug, uohm-cm.  MIVs are too
+# small for void-free Cu fill; the paper's Fig. 2 via stack behaves like a
+# contact plug.
+MIV_FILL_RESISTIVITY_UOHM_CM = 12.0
+
+# Effective liner k for the sidewall capacitance of the via barrel.
+MIV_LINER_K = 3.9
+
+
+@dataclass(frozen=True)
+class MIVModel:
+    """Parasitic RC of a single MIV at a technology node.
+
+    The via spans the inter-tier ILD plus the top-tier silicon thickness
+    (Fig. 2(b): the "MIV(140)" label at 45 nm = 110 nm ILD + 30 nm Si).
+    """
+
+    node: TechNode
+
+    @property
+    def diameter_nm(self) -> float:
+        return self.node.miv_diameter_nm
+
+    @property
+    def height_nm(self) -> float:
+        return self.node.ild_thickness_nm + self.node.top_tier_si_thickness_nm
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Height / diameter; kept "reasonable" by thinning the 7 nm ILD."""
+        return self.height_nm / self.diameter_nm
+
+    @property
+    def resistance_ohm(self) -> float:
+        """Plug resistance R = rho * h / (pi r^2)."""
+        radius_um = self.diameter_nm / 2000.0
+        if radius_um <= 0.0:
+            raise TechnologyError("MIV diameter must be positive")
+        height_um = self.height_nm / 1000.0
+        rho_ohm_um = MIV_FILL_RESISTIVITY_UOHM_CM * 1.0e-2
+        return rho_ohm_um * height_um / (math.pi * radius_um * radius_um)
+
+    @property
+    def capacitance_ff(self) -> float:
+        """Sidewall (coaxial) capacitance of the via barrel.
+
+        C = 2 pi k eps0 h / ln(b/a) with the ground return taken at ~8
+        diameters (the nearest power strap); well under 0.05 fF, i.e.
+        "almost negligible" as the paper states.
+        """
+        height_um = self.height_nm / 1000.0
+        ln_ratio = math.log(8.0)
+        return (2.0 * math.pi * MIV_LINER_K * EPS0_FF_PER_UM
+                * height_um / ln_ratio)
+
+    @property
+    def footprint_um2(self) -> float:
+        """Silicon area blocked on the top tier, including enclosure."""
+        # Landing-pad enclosure of half a diameter on each side.
+        side_um = 2.0 * self.diameter_nm / 1000.0
+        return side_um * side_um

@@ -1,0 +1,131 @@
+"""Technology node definitions (Table 6 of the paper).
+
+Two nodes are modeled:
+
+* **45 nm** — planar bulk devices, the Nangate 45 nm open cell library
+  baseline with VDD = 1.1 V and a 1.4 um standard-cell height.
+* **7 nm** — multi-gate (FinFET-like) devices per the ITRS 2011 projection,
+  VDD = 0.7 V, 0.218 um cell height, with interconnect dimensions scaled by
+  7/45 = 0.156x.
+
+The T-MI (transistor-level monolithic 3D) cell height is 60 % of the 2D
+height at both nodes: folding the cell stacks PMOS under NMOS, but P/N size
+mismatch and MIV keep-out on the top tier prevent a full 50 % reduction
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import TechnologyError
+
+# Geometric scale factor from the 45 nm node to the 7 nm node (Section 5).
+SCALE_45_TO_7 = 7.0 / 45.0
+
+# T-MI cell height relative to 2D: 0.84 um / 1.4 um (Section 3.2).
+TMI_HEIGHT_RATIO = 0.6
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """A process technology node.
+
+    Attributes mirror Table 6 of the paper.  All geometric values are in
+    nanometres unless the attribute name says otherwise.
+    """
+
+    name: str
+    vdd: float                      # supply voltage, V
+    device_type: str                # "planar bulk" or "multi-gate"
+    drawn_length_nm: float          # drawn transistor gate length
+    fixed_transistor_width: bool    # 7nm fins come in quantized widths
+    beol_ild_k: float               # back-end-of-line inter-layer dielectric k
+    m2_width_nm: float              # minimum local metal width
+    miv_diameter_nm: float          # monolithic inter-tier via diameter
+    ild_thickness_nm: float         # inter-tier ILD thickness (3D only)
+    cell_height_um: float           # 2D standard-cell height
+    top_tier_si_thickness_nm: float  # thin top-tier silicon (monolithic 3D)
+    # Effective Cu resistivity for local/intermediate layers, uohm*cm
+    # (ITRS Table 10: 4.08 at 45nm, 15.02 at 7nm).
+    local_resistivity_uohm_cm: float
+    # Global layers are wide enough that size effects are mild.
+    global_resistivity_uohm_cm: float
+    # Poly gate sheet resistance (ohm/sq) and contact resistance (ohm)
+    # used for cell-internal extraction.
+    poly_sheet_ohm_sq: float
+    contact_resistance_ohm: float
+
+    @property
+    def tmi_cell_height_um(self) -> float:
+        """Folded T-MI cell height (Section 3.2: 40 % smaller than 2D)."""
+        return self.cell_height_um * TMI_HEIGHT_RATIO
+
+    @property
+    def geometry_scale(self) -> float:
+        """Linear geometric scale relative to the 45 nm node."""
+        return self.m2_width_nm / NODE_45NM.m2_width_nm
+
+    def scaled_resistivity(self, local_scale: float = 1.0) -> "TechNode":
+        """Return a copy with local/intermediate resistivity scaled.
+
+        Used by the Table 9 experiment, which halves the resistivity of
+        local and intermediate layers to model improved interconnect
+        materials.  Global-layer resistivity is left unchanged, as in the
+        paper.
+        """
+        if local_scale <= 0.0:
+            raise TechnologyError("resistivity scale must be positive")
+        return replace(
+            self,
+            name=f"{self.name}-m{local_scale:g}",
+            local_resistivity_uohm_cm=self.local_resistivity_uohm_cm * local_scale,
+        )
+
+
+NODE_45NM = TechNode(
+    name="45nm",
+    vdd=1.1,
+    device_type="planar bulk",
+    drawn_length_nm=50.0,
+    fixed_transistor_width=False,
+    beol_ild_k=2.5,
+    m2_width_nm=70.0,
+    miv_diameter_nm=70.0,
+    ild_thickness_nm=110.0,
+    cell_height_um=1.4,
+    top_tier_si_thickness_nm=30.0,
+    local_resistivity_uohm_cm=4.08,
+    global_resistivity_uohm_cm=2.50,
+    poly_sheet_ohm_sq=10.0,
+    contact_resistance_ohm=12.0,
+)
+
+NODE_7NM = TechNode(
+    name="7nm",
+    vdd=0.7,
+    device_type="multi-gate",
+    drawn_length_nm=11.0,
+    fixed_transistor_width=True,
+    beol_ild_k=2.2,
+    m2_width_nm=70.0 * SCALE_45_TO_7,   # 10.8 nm
+    miv_diameter_nm=70.0 * SCALE_45_TO_7,
+    ild_thickness_nm=50.0,
+    cell_height_um=0.218,
+    top_tier_si_thickness_nm=30.0 * SCALE_45_TO_7,
+    local_resistivity_uohm_cm=15.02,
+    global_resistivity_uohm_cm=3.20,
+    poly_sheet_ohm_sq=25.0,
+    contact_resistance_ohm=35.0,
+)
+
+_NODES = {node.name: node for node in (NODE_45NM, NODE_7NM)}
+
+
+def get_node(name: str) -> TechNode:
+    """Look up a technology node by name ("45nm" or "7nm")."""
+    try:
+        return _NODES[name]
+    except KeyError:
+        known = ", ".join(sorted(_NODES))
+        raise TechnologyError(f"unknown technology node {name!r} (known: {known})")

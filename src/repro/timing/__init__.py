@@ -1,0 +1,33 @@
+"""Static timing analysis over gate-level netlists.
+
+One STA engine serves the whole flow; what changes between flow stages is
+the *net model* (how wire R/C are estimated):
+
+* :class:`~repro.timing.netmodel.WLMNetModel` — wire-load-model estimates
+  (synthesis, before placement exists),
+* :class:`~repro.timing.netmodel.PlacedNetModel` — Steiner-length estimates
+  from cell placement (pre-route optimization),
+* :class:`~repro.timing.netmodel.RoutedNetModel` — per-net layer-aware RC
+  from the global router (post-route / sign-off).
+
+Delays combine NLDM cell-table lookups with lumped-Elmore wire delays.
+"""
+
+from repro.timing.netmodel import (
+    NetModel,
+    WLMNetModel,
+    PlacedNetModel,
+    RoutedNetModel,
+)
+from repro.timing.graph import levelize
+from repro.timing.sta import TimingAnalyzer, TimingReport
+
+__all__ = [
+    "NetModel",
+    "WLMNetModel",
+    "PlacedNetModel",
+    "RoutedNetModel",
+    "levelize",
+    "TimingAnalyzer",
+    "TimingReport",
+]

@@ -1,0 +1,145 @@
+"""Net parasitic models used by STA at different flow stages."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.circuits.netlist import Module, Net
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import LayerClass
+
+
+class NetModel:
+    """Interface: wire resistance and capacitance per net."""
+
+    def net_rc(self, net: Net) -> Tuple[float, float]:
+        """(resistance kohm, capacitance fF) of the net's wiring."""
+        raise NotImplementedError
+
+    def net_length_um(self, net: Net) -> float:
+        """Estimated/routed wirelength of the net, um."""
+        raise NotImplementedError
+
+
+class WLMNetModel(NetModel):
+    """Wire-load-model based estimates (synthesis stage).
+
+    ``wlm`` must provide ``length_um(fanout)`` plus unit R/C attributes —
+    see :class:`repro.synth.wlm.WireLoadModel`.
+    """
+
+    def __init__(self, wlm) -> None:
+        self.wlm = wlm
+
+    def net_length_um(self, net: Net) -> float:
+        return self.wlm.length_um(max(net.fanout, 1))
+
+    def net_rc(self, net: Net) -> Tuple[float, float]:
+        length = self.net_length_um(net)
+        return (length * self.wlm.unit_r_kohm_per_um,
+                length * self.wlm.unit_c_ff_per_um)
+
+
+def steiner_correction(fanout: int) -> float:
+    """HPWL -> rectilinear Steiner length correction factor."""
+    if fanout <= 3:
+        return 1.0
+    return 1.0 + 0.18 * math.sqrt(fanout - 3)
+
+
+class PlacedNetModel(NetModel):
+    """Steiner-length estimates from cell placement (pre-route).
+
+    Wire RC uses per-class unit values from an
+    :class:`~repro.tech.interconnect.InterconnectModel`, with the layer
+    class picked by net length: short nets route on local layers,
+    medium on intermediate, long on global — the assignment the real
+    router performs by preference.
+    """
+
+    def __init__(self, module: Module, interconnect: InterconnectModel,
+                 io_positions: Optional[Dict[int, Tuple[float, float]]] = None,
+                 local_threshold_um: float = 40.0,
+                 intermediate_threshold_um: float = 400.0) -> None:
+        self.module = module
+        self.interconnect = interconnect
+        self.io_positions = io_positions or {}
+        self.local_threshold_um = local_threshold_um
+        self.intermediate_threshold_um = intermediate_threshold_um
+        self._cache: Dict[int, Tuple[float, float, float]] = {}
+
+    def invalidate(self, net_idx: Optional[int] = None) -> None:
+        """Drop cached estimates (after placement/netlist changes)."""
+        if net_idx is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(net_idx, None)
+
+    def _pin_position(self, inst_idx: int, net: Net
+                      ) -> Optional[Tuple[float, float]]:
+        if inst_idx >= 0:
+            inst = self.module.instances[inst_idx]
+            return inst.x_um, inst.y_um
+        return self.io_positions.get(net.index)
+
+    def net_length_um(self, net: Net) -> float:
+        return self._entry(net)[0]
+
+    def layer_class_for_length(self, length_um: float) -> LayerClass:
+        scale = self.interconnect.node.geometry_scale
+        if length_um <= self.local_threshold_um * scale:
+            return LayerClass.LOCAL
+        if length_um <= self.intermediate_threshold_um * scale:
+            return LayerClass.INTERMEDIATE
+        return LayerClass.GLOBAL
+
+    def _entry(self, net: Net) -> Tuple[float, float, float]:
+        cached = self._cache.get(net.index)
+        if cached is not None:
+            return cached
+        xs, ys = [], []
+        if net.driver is not None:
+            pos = self._pin_position(net.driver[0], net)
+            if pos is not None:
+                xs.append(pos[0])
+                ys.append(pos[1])
+        for inst_idx, _pin in net.sinks:
+            pos = self._pin_position(inst_idx, net)
+            if pos is not None:
+                xs.append(pos[0])
+                ys.append(pos[1])
+        if len(xs) < 2:
+            entry = (0.0, 0.0, 0.0)
+            self._cache[net.index] = entry
+            return entry
+        hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
+        length = hpwl * steiner_correction(net.fanout)
+        rc = self.interconnect.class_rc(self.layer_class_for_length(length))
+        entry = (length,
+                 length * rc.resistance_kohm_per_um,
+                 length * rc.capacitance_ff_per_um)
+        self._cache[net.index] = entry
+        return entry
+
+    def net_rc(self, net: Net) -> Tuple[float, float]:
+        _, r, c = self._entry(net)
+        return r, c
+
+
+class RoutedNetModel(NetModel):
+    """Exact per-net RC handed over by the global router."""
+
+    def __init__(self, lengths_um: Dict[int, float],
+                 resistances_kohm: Dict[int, float],
+                 capacitances_ff: Dict[int, float]) -> None:
+        self.lengths_um = lengths_um
+        self.resistances_kohm = resistances_kohm
+        self.capacitances_ff = capacitances_ff
+
+    def net_length_um(self, net: Net) -> float:
+        return self.lengths_um.get(net.index, 0.0)
+
+    def net_rc(self, net: Net) -> Tuple[float, float]:
+        return (self.resistances_kohm.get(net.index, 0.0),
+                self.capacitances_ff.get(net.index, 0.0))

@@ -1,0 +1,157 @@
+"""Unit conventions and conversion helpers.
+
+The library uses a single consistent set of *internal* units everywhere,
+chosen to keep typical values near 1.0 for numerical stability in the
+characterization solver and readable in reports:
+
+==============  ==================  =======================
+Quantity        Internal unit       Symbol used in code
+==============  ==================  =======================
+length          micrometre          ``um``
+time            nanosecond          ``ns``
+capacitance     femtofarad          ``fF``
+resistance      kiloohm             ``kohm``
+voltage         volt                ``V``
+current         microampere         ``uA``
+energy          femtojoule          ``fJ``
+power           milliwatt           ``mW``
+==============  ==================  =======================
+
+These units are self-consistent for RC analysis: ``kohm * fF = ps``
+(so Elmore products need the ``PS_PER_NS`` factor when expressed in ns),
+and ``fF * V^2 = fJ``.
+
+Helper functions convert to/from the conventional units used in the paper's
+tables (nm for geometry, ps for cell delays, ohm/um and fF/um for unit-length
+interconnect RC, mW for full-chip power).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Length
+# ---------------------------------------------------------------------------
+
+NM_PER_UM = 1000.0
+UM_PER_MM = 1000.0
+UM_PER_M = 1.0e6
+
+
+def nm_to_um(value_nm: float) -> float:
+    """Convert nanometres to micrometres."""
+    return value_nm / NM_PER_UM
+
+
+def um_to_nm(value_um: float) -> float:
+    """Convert micrometres to nanometres."""
+    return value_um * NM_PER_UM
+
+
+def um_to_mm(value_um: float) -> float:
+    """Convert micrometres to millimetres."""
+    return value_um / UM_PER_MM
+
+
+def um_to_m(value_um: float) -> float:
+    """Convert micrometres to metres."""
+    return value_um / UM_PER_M
+
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+PS_PER_NS = 1000.0
+
+
+def ps_to_ns(value_ps: float) -> float:
+    """Convert picoseconds to nanoseconds."""
+    return value_ps / PS_PER_NS
+
+
+def ns_to_ps(value_ns: float) -> float:
+    """Convert nanoseconds to picoseconds."""
+    return value_ns * PS_PER_NS
+
+
+# ---------------------------------------------------------------------------
+# Resistance / capacitance
+# ---------------------------------------------------------------------------
+
+OHM_PER_KOHM = 1000.0
+
+
+def ohm_to_kohm(value_ohm: float) -> float:
+    """Convert ohms to kiloohms."""
+    return value_ohm / OHM_PER_KOHM
+
+
+def kohm_to_ohm(value_kohm: float) -> float:
+    """Convert kiloohms to ohms."""
+    return value_kohm * OHM_PER_KOHM
+
+
+FF_PER_PF = 1000.0
+
+
+def pf_to_ff(value_pf: float) -> float:
+    """Convert picofarads to femtofarads."""
+    return value_pf * FF_PER_PF
+
+
+def ff_to_pf(value_ff: float) -> float:
+    """Convert femtofarads to picofarads."""
+    return value_ff / FF_PER_PF
+
+
+def rc_to_ps(resistance_kohm: float, capacitance_ff: float) -> float:
+    """Elmore product of a kohm resistance and fF capacitance, in ps.
+
+    1 kohm * 1 fF = 1e3 * 1e-15 s = 1e-12 s = 1 ps.
+    """
+    return resistance_kohm * capacitance_ff
+
+
+# ---------------------------------------------------------------------------
+# Energy / power
+# ---------------------------------------------------------------------------
+
+FJ_PER_PJ = 1000.0
+
+
+def energy_fj(capacitance_ff: float, voltage_v: float) -> float:
+    """Switching energy C*V^2 in fJ for a full rail-to-rail transition."""
+    return capacitance_ff * voltage_v * voltage_v
+
+
+def dynamic_power_mw(energy_fj_per_cycle: float, clock_period_ns: float) -> float:
+    """Average power in mW given per-cycle energy in fJ and period in ns.
+
+    1 fJ / 1 ns = 1e-15 J / 1e-9 s = 1e-6 W = 1e-3 mW.
+    """
+    return energy_fj_per_cycle / clock_period_ns * 1.0e-3
+
+
+def leakage_power_mw(current_ua: float, voltage_v: float) -> float:
+    """Static power in mW from a leakage current in uA at a supply voltage.
+
+    1 uA * 1 V = 1 uW = 1e-3 mW.
+    """
+    return current_ua * voltage_v * 1.0e-3
+
+
+# ---------------------------------------------------------------------------
+# Interconnect unit-length quantities (paper reports ohm/um and fF/um)
+# ---------------------------------------------------------------------------
+
+def unit_r_ohm_per_um(resistivity_uohm_cm: float, width_um: float,
+                      thickness_um: float) -> float:
+    """Unit-length wire resistance in ohm/um.
+
+    ``resistivity`` is in micro-ohm-centimetre (the unit ITRS tables use).
+    R/L = rho / (W * t); with rho in uohm*cm = 1e-8 ohm*m = 1e-2 ohm*um^2/um.
+    """
+    if width_um <= 0.0 or thickness_um <= 0.0:
+        raise ValueError("wire cross-section dimensions must be positive")
+    rho_ohm_um = resistivity_uohm_cm * 1.0e-2  # ohm * um
+    return rho_ohm_um / (width_um * thickness_um)

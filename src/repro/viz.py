@@ -1,0 +1,83 @@
+"""Terminal visualization helpers for the figure benches and examples.
+
+Everything here renders to plain text: density heat-maps (Fig. 3 / 10),
+line charts (Fig. 4 / 11), and bar charts (per-class wirelength), so the
+paper's figures can be eyeballed straight from a bench log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def heatmap(grid: np.ndarray, normalize: bool = True) -> str:
+    """Render a 2D array as ASCII shading (origin bottom-left)."""
+    if grid.ndim != 2 or grid.size == 0:
+        raise ValueError("heatmap needs a non-empty 2D array")
+    peak = grid.max() if normalize else 1.0
+    peak = max(peak, 1e-12)
+    lines = []
+    for y in range(grid.shape[1] - 1, -1, -1):
+        line = "".join(
+            _SHADES[min(int(grid[x, y] / peak * (len(_SHADES) - 1)),
+                        len(_SHADES) - 1)]
+            for x in range(grid.shape[0]))
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def line_chart(xs: Sequence[float], series: Dict[str, Sequence[float]],
+               width: int = 60, height: int = 14,
+               x_label: str = "", y_label: str = "") -> str:
+    """Plot one or more series as an ASCII line chart."""
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "ox+*"
+    for k, (name, ys) in enumerate(series.items()):
+        mark = markers[k % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            canvas[height - 1 - row][col] = mark
+    lines = []
+    for i, row in enumerate(canvas):
+        label = ""
+        if i == 0:
+            label = f" {y_max:.3g}"
+        elif i == height - 1:
+            label = f" {y_min:.3g}"
+        lines.append("|" + "".join(row) + label)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_min:.3g}{' ' * (width - 12)}{x_max:.3g}  "
+                 f"{x_label}")
+    legend = "  ".join(f"{markers[k % len(markers)]}={name}"
+                       for k, name in enumerate(series))
+    lines.append(f" {legend}   {y_label}")
+    return "\n".join(lines)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, unit: str = "") -> str:
+    """Horizontal ASCII bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must pair up")
+    peak = max(max(values), 1e-12)
+    label_w = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(value / peak * width), 0)
+        lines.append(f"{str(label).rjust(label_w)} |{bar} "
+                     f"{value:.4g}{unit}")
+    return "\n".join(lines)

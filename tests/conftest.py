@@ -1,0 +1,46 @@
+"""Shared fixtures: libraries and small flow runs are expensive, cache them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.design_flow import library_for
+from repro.tech.node import NODE_45NM, NODE_7NM
+
+
+@pytest.fixture(scope="session")
+def lib45_2d():
+    return library_for("45nm", False)
+
+
+@pytest.fixture(scope="session")
+def lib45_3d():
+    return library_for("45nm", True)
+
+
+@pytest.fixture(scope="session")
+def lib7_2d():
+    return library_for("7nm", False)
+
+
+@pytest.fixture(scope="session")
+def lib7_3d():
+    return library_for("7nm", True)
+
+
+@pytest.fixture(scope="session")
+def node45():
+    return NODE_45NM
+
+
+@pytest.fixture(scope="session")
+def node7():
+    return NODE_7NM
+
+
+@pytest.fixture(scope="session")
+def aes_comparison_small():
+    """One shared tiny iso-performance run for flow-level tests."""
+    from repro.flow.compare import run_iso_performance_comparison
+
+    return run_iso_performance_comparison("aes", scale=0.05)

@@ -1,0 +1,59 @@
+"""capTable export and extraction-corner tests."""
+
+import io
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech.captable import corner_rc, write_captable, CORNERS
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import build_stack_2d, build_stack_tmi
+from repro.tech.node import NODE_45NM, NODE_7NM
+
+
+@pytest.fixture(scope="module")
+def model45():
+    return InterconnectModel(build_stack_2d(NODE_45NM))
+
+
+def test_typ_corner_matches_model(model45):
+    typ = corner_rc(model45, "M2", "typ")
+    base = model45.wire_rc("M2")
+    assert typ.resistance_ohm_per_um == base.resistance_ohm_per_um
+    assert typ.capacitance_ff_per_um == base.capacitance_ff_per_um
+
+
+def test_corner_ordering(model45):
+    lo = corner_rc(model45, "M2", "min")
+    typ = corner_rc(model45, "M2", "typ")
+    hi = corner_rc(model45, "M2", "max")
+    assert lo.resistance_ohm_per_um < typ.resistance_ohm_per_um \
+        < hi.resistance_ohm_per_um
+    assert lo.capacitance_ff_per_um < typ.capacitance_ff_per_um \
+        < hi.capacitance_ff_per_um
+
+
+def test_unknown_corner(model45):
+    with pytest.raises(TechnologyError):
+        corner_rc(model45, "M2", "worstest")
+
+
+def test_captable_text_covers_all_layers(model45):
+    buffer = io.StringIO()
+    write_captable(model45, buffer)
+    text = buffer.getvalue()
+    for layer in model45.stack:
+        assert layer.name in text
+    # One line per layer per corner plus the header block.
+    data_lines = [l for l in text.splitlines()
+                  if l and not l.startswith("#")]
+    assert len(data_lines) == len(model45.stack.layers) * len(CORNERS)
+
+
+def test_captable_tmi_7nm():
+    model = InterconnectModel(build_stack_tmi(NODE_7NM))
+    buffer = io.StringIO()
+    write_captable(model, buffer)
+    text = buffer.getvalue()
+    assert "MB1" in text
+    assert "7nm" in text

@@ -1,0 +1,102 @@
+"""Cell geometry and T-MI folding tests (Sections 3.1-3.2, Fig. 2/5)."""
+
+import pytest
+
+from repro.cells.netlist import build_cell_netlist, cell_types
+from repro.cells.geometry import build_cell_geometry_2d, assign_columns
+from repro.cells.folding import fold_cell_geometry
+from repro.tech.node import NODE_45NM, NODE_7NM
+
+
+def _pair(cell_type, node=NODE_45NM):
+    nl = build_cell_netlist(cell_type, 1.0, node)
+    return (build_cell_geometry_2d(nl, node),
+            fold_cell_geometry(nl, node), nl)
+
+
+def test_folding_keeps_width_shrinks_height():
+    g2, g3, _ = _pair("INV")
+    assert g3.width_um == pytest.approx(g2.width_um)
+    assert g3.height_um == pytest.approx(g2.height_um * 0.6)
+    # Section 3.2: cell footprint reduces by 40 %.
+    assert g3.footprint_um2 == pytest.approx(g2.footprint_um2 * 0.6)
+
+
+def test_inverter_has_two_mivs():
+    # Fig. 2(b): the folded inverter needs MIVs for A (gate) and ZN (S/D).
+    _g2, g3, _ = _pair("INV")
+    assert g3.miv_count == 2
+
+
+def test_mivs_grow_with_complexity():
+    counts = {}
+    for cell_type in ("INV", "NAND2", "MUX2", "DFF"):
+        _g2, g3, _ = _pair(cell_type)
+        counts[cell_type] = g3.miv_count
+    assert counts["INV"] < counts["NAND2"] < counts["MUX2"] < counts["DFF"]
+
+
+def test_tier_areas_balanced_by_pmos_on_bottom():
+    # Section 3.1: PMOS (wider) goes to the bottom tier; the top tier gets
+    # NMOS plus MIV keep-out, balancing usage.
+    _g2, g3, _ = _pair("NAND2")
+    assert g3.bottom_tier_device_area_um2 > 0.0
+    assert g3.top_tier_device_area_um2 > 0.0
+    ratio = g3.top_tier_device_area_um2 / g3.bottom_tier_device_area_um2
+    assert 0.4 < ratio < 2.5
+
+
+def test_2d_geometry_has_no_bottom_layers():
+    g2, _g3, _ = _pair("NAND2")
+    layers = {s.layer for s in g2.segments}
+    assert layers <= {"P", "M1"}
+    assert g2.miv_count == 0
+    assert not g2.is_3d
+
+
+def test_3d_geometry_uses_both_tiers():
+    _g2, g3, _ = _pair("NAND2")
+    layers = {s.layer for s in g3.segments}
+    assert "PB" in layers and "P" in layers
+    assert "MB1" in layers and "M1" in layers
+    assert g3.is_3d
+
+
+def test_direct_sd_contacts_present():
+    # Fig. 5(c): direct S/D contacts on crossing diffusion nets.
+    _g2, g3, _ = _pair("INV")
+    kinds = {v.kind for v in g3.vias}
+    assert "DSCT" in kinds
+    assert "MIV" in kinds
+
+
+def test_column_assignment_counts():
+    nl = build_cell_netlist("NAND2", 1.0, NODE_45NM)
+    columns, total = assign_columns(nl)
+    assert total == 2
+    assert set(columns) == {"A", "B"}
+
+
+def test_rails_excluded_from_nets():
+    g2, g3, _ = _pair("INV")
+    for geom in (g2, g3):
+        assert "VDD" not in geom.nets()
+        assert "VSS" not in geom.nets()
+
+
+def test_7nm_geometry_scales():
+    g45, _, _ = _pair("INV", NODE_45NM)
+    g7, _, _ = _pair("INV", NODE_7NM)
+    assert g7.width_um == pytest.approx(g45.width_um * 7.0 / 45.0, rel=0.01)
+    assert g7.height_um == pytest.approx(0.218)
+
+
+@pytest.mark.parametrize("cell_type", cell_types())
+def test_all_cells_fold(cell_type):
+    g2, g3, nl = _pair(cell_type)
+    assert g3.miv_count >= 1
+    assert g3.footprint_um2 < g2.footprint_um2
+    # Total poly on the folded cell is split across tiers.
+    p_top = g3.total_wire_length_um("P")
+    p_bottom = g3.total_wire_length_um("PB")
+    assert p_top > 0.0 and p_bottom > 0.0

@@ -1,0 +1,110 @@
+"""Boolean cell-function tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LibraryError
+from repro.cells import logic
+
+
+def test_basic_functions():
+    assert logic.evaluate("INV", {"A": True}) == {"ZN": False}
+    assert logic.evaluate("NAND2", {"A": True, "B": True}) == {"ZN": False}
+    assert logic.evaluate("NAND2", {"A": True, "B": False}) == {"ZN": True}
+    assert logic.evaluate("XOR2", {"A": True, "B": False}) == {"Z": True}
+    assert logic.evaluate("MUX2", {"A": False, "B": True, "S": True}) == \
+        {"Z": True}
+    assert logic.evaluate("MUX2", {"A": False, "B": True, "S": False}) == \
+        {"Z": False}
+
+
+def test_full_adder_truth():
+    for a in (False, True):
+        for b in (False, True):
+            for ci in (False, True):
+                out = logic.evaluate("FA", {"A": a, "B": b, "CI": ci})
+                total = int(a) + int(b) + int(ci)
+                assert out["S"] == bool(total % 2)
+                assert out["CO"] == (total >= 2)
+
+
+def test_aoi_oai():
+    assert logic.evaluate("AOI21", {"A1": True, "A2": True, "B": False}) \
+        == {"ZN": False}
+    assert logic.evaluate("OAI21", {"A1": False, "A2": False, "B": True}) \
+        == {"ZN": True}
+
+
+def test_sensitizing_vector_nand():
+    side = logic.sensitizing_vector("NAND2", "A", "ZN")
+    assert side == {"B": True}
+
+
+def test_sensitizing_vector_mux_select():
+    side = logic.sensitizing_vector("MUX2", "S", "Z")
+    # S toggles the output only when A != B.
+    assert side["A"] != side["B"]
+
+
+def test_sensitizing_vector_impossible():
+    with pytest.raises(LibraryError):
+        # BUF's only arc is A; asking for a non-input raises.
+        logic.sensitizing_vector("BUF", "EN", "Z")
+
+
+def test_output_probability_inverter():
+    probs = logic.output_probabilities("INV", {"A": 0.3})
+    assert probs["ZN"] == pytest.approx(0.7)
+
+
+def test_output_probability_nand2():
+    probs = logic.output_probabilities("NAND2", {"A": 0.5, "B": 0.5})
+    assert probs["ZN"] == pytest.approx(0.75)
+
+
+def test_output_probability_xor():
+    probs = logic.output_probabilities("XOR2", {"A": 0.5, "B": 0.5})
+    assert probs["Z"] == pytest.approx(0.5)
+
+
+def test_boolean_difference_inverter_is_one():
+    bd = logic.boolean_difference_probability("INV", "A", "ZN", {})
+    assert bd == pytest.approx(1.0)
+
+
+def test_boolean_difference_nand2():
+    # Output toggles with A only when B = 1: probability 0.5.
+    bd = logic.boolean_difference_probability(
+        "NAND2", "A", "ZN", {"B": 0.5})
+    assert bd == pytest.approx(0.5)
+
+
+def test_boolean_difference_xor_always_one():
+    bd = logic.boolean_difference_probability("XOR2", "A", "Z", {"B": 0.5})
+    assert bd == pytest.approx(1.0)
+
+
+def test_sequential_data_pin():
+    assert logic.sequential_data_pin("DFF") == "D"
+    with pytest.raises(LibraryError):
+        logic.sequential_data_pin("NAND2")
+
+
+@given(st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_probabilities_in_unit_interval(pa, pb):
+    probs = logic.output_probabilities("NAND2", {"A": pa, "B": pb})
+    assert 0.0 <= probs["ZN"] <= 1.0
+    # Exact relation: P(nand=1) = 1 - pa*pb.
+    assert probs["ZN"] == pytest.approx(1.0 - pa * pb, abs=1e-9)
+
+
+@given(st.sampled_from(["INV", "NAND2", "NOR2", "XOR2", "AOI21", "MUX2"]))
+def test_boolean_difference_bounded(cell_type):
+    pins = logic.combinational_inputs(cell_type)
+    outs = logic.output_probabilities(cell_type, {p: 0.5 for p in pins})
+    out_pin = next(iter(outs))
+    for pin in pins:
+        bd = logic.boolean_difference_probability(
+            cell_type, pin, out_pin, {p: 0.5 for p in pins})
+        assert 0.0 <= bd <= 1.0

@@ -1,0 +1,138 @@
+"""Transistor-level cell netlist tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetlistError
+from repro.cells.netlist import (
+    build_cell_netlist,
+    base_widths_for,
+    cell_types,
+    is_sequential_type,
+    BASE_NMOS_WIDTH_UM,
+    BASE_PMOS_WIDTH_UM,
+    VDD_NET,
+    VSS_NET,
+)
+from repro.tech.node import NODE_45NM, NODE_7NM
+
+
+def test_inverter_structure():
+    nl = build_cell_netlist("INV", 1.0, NODE_45NM)
+    assert nl.transistor_count() == 2
+    assert nl.input_pins == ["A"]
+    assert nl.output_pins == ["ZN"]
+    widths = sorted(d.width_um for d in nl.devices)
+    assert widths == pytest.approx([BASE_NMOS_WIDTH_UM, BASE_PMOS_WIDTH_UM])
+
+
+def test_nand2_stack_upsizing():
+    nl = build_cell_netlist("NAND2", 1.0, NODE_45NM)
+    assert nl.transistor_count() == 4
+    nmos = [d for d in nl.devices if not d.is_pmos]
+    pmos = [d for d in nl.devices if d.is_pmos]
+    # Series NMOS stack of depth 2 is upsized 2x; parallel PMOS stays 1x.
+    for d in nmos:
+        assert d.width_um == pytest.approx(BASE_NMOS_WIDTH_UM * 2)
+    for d in pmos:
+        assert d.width_um == pytest.approx(BASE_PMOS_WIDTH_UM)
+
+
+def test_nand2_topology():
+    nl = build_cell_netlist("NAND2", 1.0, NODE_45NM)
+    nmos = [d for d in nl.devices if not d.is_pmos]
+    # NMOS in series: exactly one internal node shared between them.
+    internal = nl.internal_nets()
+    assert len(internal) == 1
+    terminals = [t for d in nmos for t in (d.drain, d.source)]
+    assert terminals.count(internal[0]) == 2
+
+
+def test_aoi21_transistor_count():
+    nl = build_cell_netlist("AOI21", 1.0, NODE_45NM)
+    assert nl.transistor_count() == 6
+
+
+def test_mux2_uses_transmission_gates():
+    nl = build_cell_netlist("MUX2", 1.0, NODE_45NM)
+    assert set(nl.input_pins) == {"A", "B", "S"}
+    # 1 inverter (S) + 2 tgates + 2 output inverters = 10 transistors.
+    assert nl.transistor_count() == 10
+
+
+def test_dff_structure():
+    nl = build_cell_netlist("DFF", 1.0, NODE_45NM)
+    assert nl.clock_pins == ["CK"]
+    assert set(nl.output_pins) == {"Q", "QN"}
+    # Master-slave: 2 clock inverters + 4 tgates + 4 latch inverters +
+    # 2 output inverters = 24 transistors.
+    assert nl.transistor_count() == 24
+
+
+def test_drive_strength_scales_widths():
+    x1 = build_cell_netlist("INV", 1.0, NODE_45NM)
+    x4 = build_cell_netlist("INV", 4.0, NODE_45NM)
+    assert x4.total_width_um() == pytest.approx(x1.total_width_um() * 4.0)
+
+
+def test_7nm_fixed_fin_widths():
+    wn, wp = base_widths_for(NODE_7NM)
+    assert wn == wp == pytest.approx(0.043)
+    nl = build_cell_netlist("INV", 1.0, NODE_7NM)
+    assert all(d.width_um == pytest.approx(0.043) for d in nl.devices)
+
+
+def test_sequential_classification():
+    assert is_sequential_type("DFF")
+    assert is_sequential_type("DLH")
+    assert not is_sequential_type("NAND2")
+
+
+def test_unknown_type_raises():
+    with pytest.raises(NetlistError):
+        build_cell_netlist("NAND17", 1.0)
+
+
+def test_nonpositive_strength_raises():
+    with pytest.raises(NetlistError):
+        build_cell_netlist("INV", 0.0)
+
+
+def test_pin_gate_width():
+    nl = build_cell_netlist("INV", 1.0, NODE_45NM)
+    assert nl.pin_gate_width_um("A") == pytest.approx(
+        BASE_NMOS_WIDTH_UM + BASE_PMOS_WIDTH_UM)
+
+
+def test_output_drive_widths():
+    nl = build_cell_netlist("INV", 1.0, NODE_45NM)
+    p_w, n_w = nl.output_drive_widths_um("ZN")
+    assert p_w == pytest.approx(BASE_PMOS_WIDTH_UM)
+    assert n_w == pytest.approx(BASE_NMOS_WIDTH_UM)
+
+
+@pytest.mark.parametrize("cell_type", cell_types())
+def test_every_type_builds_and_validates(cell_type):
+    nl = build_cell_netlist(cell_type, 1.0, NODE_45NM)
+    nl.validate()
+    nets = nl.nets()
+    assert nets[0] == VDD_NET and nets[1] == VSS_NET
+    # Every device terminal references a known net.
+    net_set = set(nets)
+    for dev in nl.devices:
+        assert {dev.gate, dev.drain, dev.source} <= net_set
+
+
+@given(st.sampled_from(cell_types()),
+       st.sampled_from([1.0, 2.0, 4.0]))
+def test_width_scaling_property(cell_type, strength):
+    base = build_cell_netlist(cell_type, 1.0, NODE_45NM)
+    scaled = build_cell_netlist(cell_type, strength, NODE_45NM)
+    # Total width never shrinks with strength, and output-stage width
+    # scales linearly (internal first stages may be held at X1).
+    assert scaled.total_width_um() >= base.total_width_um() - 1e-9
+    out = base.output_pins[0]
+    p0, n0 = base.output_drive_widths_um(out)
+    p1, n1 = scaled.output_drive_widths_um(out)
+    assert p1 == pytest.approx(p0 * strength, rel=1e-6)
+    assert n1 == pytest.approx(n0 * strength, rel=1e-6)

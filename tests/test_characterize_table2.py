@@ -1,0 +1,107 @@
+"""Characterization tests anchored to Table 2 / Table 11 of the paper.
+
+Full-grid MNA characterization takes a few seconds per cell, so the
+heavier comparisons run on INV and NAND2 only; the DFF behaviour is
+covered by a single-corner check.
+"""
+
+import pytest
+
+from repro.cells.netlist import build_cell_netlist
+from repro.cells.geometry import build_cell_geometry_2d
+from repro.cells.folding import fold_cell_geometry
+from repro.extraction.rc import ExtractionMode, extract_cell
+from repro.characterize.charlib import (
+    CharacterizationSetup,
+    characterize_cell,
+)
+from repro.characterize.analytic import analytic_characterization
+from repro.tech.node import NODE_45NM
+
+
+@pytest.fixture(scope="module")
+def inv_chars():
+    nl = build_cell_netlist("INV", 1.0, NODE_45NM)
+    g2 = build_cell_geometry_2d(nl, NODE_45NM)
+    g3 = fold_cell_geometry(nl, NODE_45NM)
+    p2 = extract_cell(g2, ExtractionMode.FLAT)
+    p3 = extract_cell(g3, ExtractionMode.DIELECTRIC)
+    setup = CharacterizationSetup(node=NODE_45NM)
+    return (characterize_cell(nl, p2, setup),
+            characterize_cell(nl, p3, setup), nl, p2)
+
+
+def test_inv_delay_matches_table2(inv_chars):
+    char_2d, _c3, _nl, _p2 = inv_chars
+    arc = char_2d.worst_arc()
+    # Table 2 fast/medium/slow: 17.2 / 51.1 / 188.3 ps.
+    assert arc.delay.lookup(7.5, 0.8) == pytest.approx(17.2, rel=0.25)
+    assert arc.delay.lookup(37.5, 3.2) == pytest.approx(51.1, rel=0.25)
+    assert arc.delay.lookup(150.0, 12.8) == pytest.approx(188.3, rel=0.25)
+
+
+def test_inv_energy_matches_table2(inv_chars):
+    char_2d, _c3, _nl, _p2 = inv_chars
+    arc = char_2d.worst_arc()
+    # Table 2: 0.383 / 0.362 / 0.449 fJ.
+    assert arc.internal_energy.lookup(7.5, 0.8) == pytest.approx(
+        0.383, rel=0.35)
+    assert arc.internal_energy.lookup(150.0, 12.8) == pytest.approx(
+        0.449, rel=0.35)
+
+
+def test_inv_3d_close_to_2d(inv_chars):
+    # Table 2's central claim: 3D cell delay/power within a few % of 2D.
+    char_2d, char_3d, _nl, _p2 = inv_chars
+    d2 = char_2d.worst_arc().delay.lookup(37.5, 3.2)
+    d3 = char_3d.worst_arc().delay.lookup(37.5, 3.2)
+    assert d3 / d2 == pytest.approx(1.0, abs=0.08)
+    e2 = char_2d.worst_arc().internal_energy.lookup(37.5, 3.2)
+    e3 = char_3d.worst_arc().internal_energy.lookup(37.5, 3.2)
+    assert e3 / e2 == pytest.approx(1.0, abs=0.12)
+
+
+def test_inv_leakage_matches_table11(inv_chars):
+    # Table 11: 45 nm INV leakage 2844 pW.
+    char_2d, _c3, _nl, _p2 = inv_chars
+    assert char_2d.leakage_mw * 1.0e9 == pytest.approx(2844.0, rel=0.25)
+
+
+def test_delay_monotone_in_load(inv_chars):
+    char_2d, _c3, _nl, _p2 = inv_chars
+    t = char_2d.worst_arc().delay
+    for i in range(t.values.shape[0]):
+        row = t.values[i]
+        assert all(row[j] < row[j + 1] for j in range(len(row) - 1))
+
+
+def test_slew_monotone_in_load(inv_chars):
+    char_2d, _c3, _nl, _p2 = inv_chars
+    t = char_2d.worst_arc().output_slew
+    for i in range(t.values.shape[0]):
+        row = t.values[i]
+        assert all(row[j] <= row[j + 1] + 1e-9 for j in range(len(row) - 1))
+
+
+def test_analytic_matches_mna_for_inv(inv_chars):
+    char_mna, _c3, nl, p2 = inv_chars
+    char_an = analytic_characterization(nl, p2, NODE_45NM,
+                                        cell_type="INV")
+    for slew, load in ((7.5, 0.8), (37.5, 3.2), (150.0, 12.8)):
+        d_m = char_mna.worst_arc().delay.lookup(slew, load)
+        d_a = char_an.worst_arc().delay.lookup(slew, load)
+        assert d_a == pytest.approx(d_m, rel=0.45)
+
+
+def test_dff_clk_to_q_single_corner():
+    nl = build_cell_netlist("DFF", 1.0, NODE_45NM)
+    g2 = build_cell_geometry_2d(nl, NODE_45NM)
+    p2 = extract_cell(g2, ExtractionMode.FLAT)
+    setup = CharacterizationSetup(
+        node=NODE_45NM, seq_slews_ps=(28.1,), loads_ff=(3.2,))
+    char = characterize_cell(nl, p2, setup)
+    arc = char.worst_arc()
+    assert arc.input_pin == "CK"
+    # Table 2 medium: 142.6 ps clk->Q.
+    assert arc.delay.lookup(28.1, 3.2) == pytest.approx(142.6, rel=0.35)
+    assert char.setup_time_ps > 0.0

@@ -1,0 +1,62 @@
+"""Characterization-harness unit tests (arc selection, leakage, windows)."""
+
+import pytest
+
+from repro.cells.netlist import build_cell_netlist
+from repro.characterize.charlib import (
+    CharacterizationSetup,
+    _leakage_mw,
+    _window_ns,
+    preferred_arc,
+)
+from repro.tech.node import NODE_45NM, NODE_7NM
+
+
+def test_preferred_arc_combinational():
+    nl = build_cell_netlist("NAND2", 1.0, NODE_45NM)
+    assert preferred_arc(nl, "NAND2") == ("A", "ZN")
+
+
+def test_preferred_arc_mux_uses_select():
+    # The select path is the MUX's worst arc (through the extra inverter).
+    nl = build_cell_netlist("MUX2", 1.0, NODE_45NM)
+    assert preferred_arc(nl, "MUX2") == ("S", "Z")
+
+
+def test_preferred_arc_sequential_is_clk_to_q():
+    nl = build_cell_netlist("DFF", 1.0, NODE_45NM)
+    assert preferred_arc(nl, "DFF") == ("CK", "Q")
+
+
+def test_leakage_scales_with_width():
+    x1 = build_cell_netlist("INV", 1.0, NODE_45NM)
+    x4 = build_cell_netlist("INV", 4.0, NODE_45NM)
+    assert _leakage_mw(x4, NODE_45NM) == pytest.approx(
+        _leakage_mw(x1, NODE_45NM) * 4.0, rel=1e-6)
+
+
+def test_leakage_higher_at_7nm_per_cell_similar():
+    # Table 11: INV leakage 2844 pW (45 nm) vs 2583 pW (7 nm) — the same
+    # ballpark despite tiny devices (HP FinFETs leak hard per um).
+    inv45 = _leakage_mw(build_cell_netlist("INV", 1.0, NODE_45NM),
+                        NODE_45NM)
+    inv7 = _leakage_mw(build_cell_netlist("INV", 1.0, NODE_7NM),
+                       NODE_7NM)
+    assert inv7 == pytest.approx(inv45, rel=1.0)
+
+
+def test_window_grows_with_slew_and_load():
+    setup = CharacterizationSetup(node=NODE_45NM)
+    t_small, dt_small = _window_ns(NODE_45NM, 7.5, 0.8, setup)
+    t_big, dt_big = _window_ns(NODE_45NM, 150.0, 12.8, setup)
+    assert t_big > t_small
+    assert dt_big >= dt_small
+    # Enough resolution in the small window.
+    assert t_small / dt_small > 100
+
+
+def test_setup_defaults_match_paper_corners():
+    setup = CharacterizationSetup()
+    assert tuple(setup.slews_ps) == (7.5, 37.5, 150.0)
+    assert tuple(setup.seq_slews_ps) == (5.0, 28.1, 112.5)
+    assert tuple(setup.loads_ff) == (0.8, 3.2, 12.8)

@@ -1,0 +1,74 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main, EXPERIMENTS
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["compare", "aes", "--scale", "0.05"])
+    assert args.circuit == "aes"
+    assert args.scale == 0.05
+
+
+def test_experiment_ids_cover_every_table_and_figure():
+    tables = [f"table{i}" for i in range(1, 18)]
+    figures = ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
+               "fig11"]
+    for key in tables + figures:
+        assert key in EXPERIMENTS
+
+
+def test_experiment_modules_import():
+    import importlib
+    for module_name in EXPERIMENTS.values():
+        module = importlib.import_module(
+            f"repro.experiments.{module_name}")
+        assert hasattr(module, "run")
+        assert hasattr(module, "reference")
+
+
+def test_unknown_experiment_id(capsys):
+    rc = main(["experiment", "table99"])
+    assert rc == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cells_command(capsys):
+    rc = main(["cells", "--node", "45nm", "--style", "2d"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "INV_X1" in out
+    assert "66 cells" in out
+
+
+def test_cheap_experiment_command(capsys):
+    rc = main(["experiment", "table10"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "measured" in out and "paper" in out
+
+
+def test_export_lib(tmp_path, capsys):
+    path = tmp_path / "out.lib"
+    rc = main(["export-lib", str(path)])
+    assert rc == 0
+    assert path.read_text().startswith("library")
+
+
+def test_export_verilog(tmp_path):
+    path = tmp_path / "fpu.v"
+    rc = main(["export-verilog", "fpu", str(path), "--scale", "0.06"])
+    assert rc == 0
+    assert "module" in path.read_text()
+
+
+def test_export_layout(tmp_path):
+    import json
+    from repro.cli import main as cli_main
+    path = tmp_path / "fpu.json"
+    rc = cli_main(["export-layout", "fpu", str(path), "--scale", "0.08"])
+    assert rc == 0
+    data = json.loads(path.read_text())
+    assert data["circuit"] == "fpu"

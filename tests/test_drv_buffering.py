@@ -1,0 +1,141 @@
+"""Unit tests for DRV fixing and buffer insertion on crafted netlists."""
+
+import pytest
+
+from repro.circuits.netlist import Module
+from repro.opt.buffering import (
+    buffer_far_sinks,
+    insert_repeaters,
+    optimal_repeater_length_um,
+    BUFFER_CELL,
+)
+from repro.opt.drv import fix_drv, MAX_LOAD_RATIO
+from repro.place.floorplan import Floorplan
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import build_stack_2d
+from repro.tech.node import NODE_45NM
+from repro.timing.netmodel import PlacedNetModel
+
+
+def _fanout_module(n_sinks: int, span_um: float,
+                   sink_cell: str = "INV_X4") -> Module:
+    """One driver, n sinks spread along a horizontal span."""
+    m = Module("fan")
+    a = m.add_net("a")
+    m.mark_primary_input(a)
+    drv = m.add_instance("drv", "INV_X1")
+    m.connect(drv, "A", a)
+    z = m.add_net("z")
+    m.connect(drv, "ZN", z, is_driver=True)
+    drv.x_um, drv.y_um = 0.0, 10.0
+    for k in range(n_sinks):
+        g = m.add_instance(f"s{k}", sink_cell)
+        m.connect(g, "A", z)
+        out = m.add_net(f"o{k}")
+        m.connect(g, "ZN", out, is_driver=True)
+        m.mark_primary_output(out)
+        g.x_um = span_um * (k + 1) / n_sinks
+        g.y_um = 10.0
+    return m
+
+
+def _env(module: Module, size_um: float = 200.0):
+    fp = Floorplan(width_um=size_um, height_um=size_um,
+                   row_height_um=1.4, target_utilization=0.8)
+    fp.place_ios(module)
+    ic = InterconnectModel(build_stack_2d(NODE_45NM))
+    return fp, ic, PlacedNetModel(module, ic,
+                                  io_positions=fp.io_positions)
+
+
+def test_optimal_repeater_length_reasonable(lib45_2d):
+    ic = InterconnectModel(build_stack_2d(NODE_45NM))
+    length = optimal_repeater_length_um(lib45_2d, ic)
+    # Tens of um at 45 nm with our cells.
+    assert 10.0 < length < 500.0
+
+
+def test_buffer_far_sinks_isolates_far_half(lib45_2d):
+    module = _fanout_module(6, span_um=120.0)
+    fp, _ic, _nm = _env(module)
+    net = module.net_by_name("z")
+    added = buffer_far_sinks(module, lib45_2d, fp, net)
+    assert added == 1
+    # The original net keeps the near sinks plus the buffer input.
+    buf = module.instances[-1]
+    assert buf.cell_name == BUFFER_CELL
+    assert (buf.index, "A") in net.sinks
+    new_net = module.nets[buf.pin_nets["Z"]]
+    assert 1 <= len(new_net.sinks) < 6
+    # The far sink moved.
+    far_sink = module.instance_by_name("s5")
+    assert far_sink.pin_nets["A"] == new_net.index
+
+
+def test_buffer_far_sinks_skips_small_fanout(lib45_2d):
+    module = _fanout_module(2, span_um=50.0)
+    fp, _ic, _nm = _env(module)
+    assert buffer_far_sinks(module, lib45_2d, fp,
+                            module.net_by_name("z")) == 0
+
+
+def test_insert_repeaters_on_long_two_pin_net(lib45_2d):
+    module = _fanout_module(1, span_um=180.0)
+    fp, ic, nm = _env(module)
+    net = module.net_by_name("z")
+    length = nm.net_length_um(net)
+    opt_len = 40.0
+    added = insert_repeaters(module, lib45_2d, fp, net, length, opt_len)
+    assert added >= 2
+    # The chain is connected: walking driver -> ... -> sink passes
+    # through every repeater.
+    hops = 0
+    current = net
+    while True:
+        sink_insts = [i for i, _p in current.sinks if i >= 0]
+        buf_sinks = [i for i in sink_insts
+                     if module.instances[i].cell_name == BUFFER_CELL]
+        if not buf_sinks:
+            break
+        current = module.nets[
+            module.instances[buf_sinks[0]].pin_nets["Z"]]
+        hops += 1
+    assert hops == added
+    assert (module.instance_by_name("s0").index, "A") in current.sinks
+
+
+def test_insert_repeaters_skips_short_nets(lib45_2d):
+    module = _fanout_module(1, span_um=10.0)
+    fp, _ic, nm = _env(module)
+    net = module.net_by_name("z")
+    assert insert_repeaters(module, lib45_2d, fp, net,
+                            nm.net_length_um(net), 40.0) == 0
+
+
+def test_fix_drv_upsizes_pin_dominated_net(lib45_2d):
+    # Many heavy sinks close together: pin-dominated -> upsizing.
+    module = _fanout_module(8, span_um=4.0, sink_cell="INV_X8")
+    fp, _ic, nm = _env(module)
+    drv = module.instance_by_name("drv")
+    upsized, buffers = fix_drv(module, lib45_2d, fp, nm)
+    assert upsized >= 1
+    assert lib45_2d.cell(drv.cell_name).strength > 1.0
+
+
+def test_fix_drv_buffers_wire_dominated_net(lib45_2d):
+    # One light sink far away: wire-dominated -> a repeater, not (only)
+    # upsizing.
+    module = _fanout_module(1, span_um=190.0, sink_cell="INV_X1")
+    fp, _ic, nm = _env(module)
+    _upsized, buffers = fix_drv(module, lib45_2d, fp, nm)
+    assert buffers >= 1
+
+
+def test_fix_drv_leaves_clean_nets_alone(lib45_2d):
+    # Small core so the I/O pads are close too: nothing violates.
+    module = _fanout_module(2, span_um=3.0, sink_cell="INV_X1")
+    fp, _ic, nm = _env(module, size_um=12.0)
+    n_cells = module.n_cells
+    upsized, buffers = fix_drv(module, lib45_2d, fp, nm)
+    assert buffers == 0
+    assert module.n_cells == n_cells

@@ -1,0 +1,55 @@
+"""Experiment-driver tests (cheap drivers only; heavy ones are benches)."""
+
+import pytest
+
+from repro.experiments import table01_cell_rc
+from repro.experiments import table03_metal_stack
+from repro.experiments import table06_node_setup
+from repro.experiments import table10_itrs
+from repro.experiments import fig05_cell_layouts
+from repro.experiments import fig06_wlm_curves
+
+
+def test_table01_shape():
+    rows = table01_cell_rc.run()
+    assert len(rows) == 4
+    by_cell = {r["cell"]: r for r in rows}
+    assert by_cell["INV"]["R 3D"] < by_cell["INV"]["R 2D (kohm)"]
+    assert by_cell["DFF"]["R 3D"] > by_cell["DFF"]["R 2D (kohm)"]
+    ref = table01_cell_rc.reference()
+    assert {r["cell"] for r in ref} == set(by_cell)
+
+
+def test_table03_rows():
+    rows = table03_metal_stack.run()
+    assert [r["level"] for r in rows] == \
+        ["global", "intermediate", "local", "M1"]
+    diagrams = table03_metal_stack.stack_diagrams()
+    assert len(diagrams["2D"]) == 8
+    assert len(diagrams["T-MI"]) == 12
+
+
+def test_table06_values():
+    rows = {r["parameter"]: r for r in table06_node_setup.run()}
+    assert rows["VDD (V)"]["45nm"] == 1.1
+    assert rows["VDD (V)"]["7nm"] == 0.7
+    assert rows["standard cell height (um)"]["7nm"] == 0.218
+
+
+def test_table10_round_trip():
+    measured = {r["node"]: r for r in table10_itrs.run()}
+    for ref in table10_itrs.reference():
+        assert measured[ref["node"]]["year"] == ref["year"]
+
+
+def test_fig05_cells():
+    rows = fig05_cell_layouts.run()
+    mivs = {r["cell"]: r["#MIVs"] for r in rows}
+    assert mivs["INV"] < mivs["DFF"]
+    assert fig05_cell_layouts.total_library_cells() == 66
+
+
+def test_fig06_monotone():
+    rows = fig06_wlm_curves.run(circuits=("fpu",), scale=0.08)
+    lengths = [v for k, v in rows[0].items() if k.startswith("wl@")]
+    assert all(b > a for a, b in zip(lengths, lengths[1:]))

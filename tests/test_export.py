@@ -1,0 +1,64 @@
+"""DEF / JSON layout export tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.circuits.generators import generate_benchmark
+from repro.flow.design_flow import FlowConfig, run_flow
+from repro.flow.export import write_def, write_layout_json, layout_to_dict
+from repro.place.placer import Placer
+
+
+@pytest.fixture(scope="module")
+def small_layout():
+    return run_flow(FlowConfig(circuit="fpu", scale=0.08))
+
+
+def test_def_structure(lib45_2d):
+    module = generate_benchmark("fpu", scale=0.06)
+    placement = Placer(lib45_2d, 0.8).run(module)
+    buffer = io.StringIO()
+    write_def(module, lib45_2d, placement.floorplan, buffer)
+    text = buffer.getvalue()
+    assert text.startswith("VERSION 5.8 ;")
+    assert f"COMPONENTS {module.n_cells} ;" in text
+    assert f"NETS {module.n_nets} ;" in text
+    assert "END DESIGN" in text
+    # Every instance placed inside the die area.
+    assert text.count("+ PLACED") >= module.n_cells
+
+
+def test_def_component_positions_within_die(lib45_2d):
+    module = generate_benchmark("fpu", scale=0.06)
+    placement = Placer(lib45_2d, 0.8).run(module)
+    fp = placement.floorplan
+    buffer = io.StringIO()
+    write_def(module, lib45_2d, fp, buffer)
+    die_x = int(round(fp.width_um * 1000))
+    for line in buffer.getvalue().splitlines():
+        if line.startswith("- g") and "+ PLACED" in line:
+            coords = line.split("(")[1].split(")")[0].split()
+            x = int(coords[0])
+            assert -2000 <= x <= die_x + 2000
+
+
+def test_json_round_trip(small_layout):
+    buffer = io.StringIO()
+    write_layout_json(small_layout, buffer)
+    data = json.loads(buffer.getvalue())
+    assert data["circuit"] == "fpu"
+    assert data["style"] == "2D"
+    assert data["power_mw"]["total"] == pytest.approx(
+        small_layout.power.total_mw)
+    assert set(data["wirelength_by_class"]) <= \
+        {"local", "intermediate", "global"}
+
+
+def test_layout_dict_consistency(small_layout):
+    data = layout_to_dict(small_layout)
+    assert data["power_mw"]["total"] == pytest.approx(
+        data["power_mw"]["cell"] + data["power_mw"]["net"]
+        + data["power_mw"]["leakage"], rel=1e-9)
+    assert data["n_cells"] == small_layout.n_cells

@@ -1,0 +1,100 @@
+"""Parasitic extraction tests, anchored to Table 1 of the paper."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.cells.netlist import build_cell_netlist
+from repro.cells.geometry import build_cell_geometry_2d
+from repro.cells.folding import fold_cell_geometry
+from repro.extraction.rc import ExtractionMode, extract_cell
+from repro.tech.node import NODE_45NM
+
+# Table 1 values: cell -> (R2d, R3d, C2d, C3d, C3dc) in kohm / fF.
+TABLE1 = {
+    "INV": (0.186, 0.107, 0.363, 0.368, 0.349),
+    "NAND2": (0.372, 0.237, 0.561, 0.586, 0.547),
+    "MUX2": (1.133, 0.975, 1.823, 1.938, 1.796),
+    "DFF": (2.876, 3.045, 4.108, 5.101, 4.740),
+}
+
+
+def _extract(cell_type):
+    nl = build_cell_netlist(cell_type, 1.0, NODE_45NM)
+    g2 = build_cell_geometry_2d(nl, NODE_45NM)
+    g3 = fold_cell_geometry(nl, NODE_45NM)
+    return (extract_cell(g2, ExtractionMode.FLAT),
+            extract_cell(g3, ExtractionMode.DIELECTRIC),
+            extract_cell(g3, ExtractionMode.CONDUCTOR))
+
+
+@pytest.mark.parametrize("cell_type", sorted(TABLE1))
+def test_2d_rc_magnitudes_match_table1(cell_type):
+    p2, _p3, _p3c = _extract(cell_type)
+    r_ref, _, c_ref, _, _ = TABLE1[cell_type]
+    assert p2.total_r_kohm == pytest.approx(r_ref, rel=0.35)
+    assert p2.total_c_ff == pytest.approx(c_ref, rel=0.60)
+
+
+@pytest.mark.parametrize("cell_type", ["INV", "NAND2", "MUX2"])
+def test_simple_cells_lose_resistance_in_3d(cell_type):
+    # Table 1: "the R values of 3D are noticeably smaller than 2D".
+    p2, p3, _ = _extract(cell_type)
+    assert p3.total_r_kohm < p2.total_r_kohm
+
+
+def test_dff_gains_resistance_in_3d():
+    # Table 1: "For DFF, both R and C of 3D are larger than 2D".
+    p2, p3, _ = _extract("DFF")
+    assert p3.total_r_kohm > p2.total_r_kohm
+    assert p3.total_c_ff > p2.total_c_ff
+
+
+@pytest.mark.parametrize("cell_type", sorted(TABLE1))
+def test_3d_resistance_ratio_shape(cell_type):
+    p2, p3, _ = _extract(cell_type)
+    ratio = p3.total_r_kohm / p2.total_r_kohm
+    ref_ratio = TABLE1[cell_type][1] / TABLE1[cell_type][0]
+    assert ratio == pytest.approx(ref_ratio, abs=0.18)
+
+
+@pytest.mark.parametrize("cell_type", sorted(TABLE1))
+def test_conductor_mode_always_below_dielectric(cell_type):
+    # The 3D-c column is the lower coupling bound.
+    _p2, p3, p3c = _extract(cell_type)
+    assert p3c.total_c_ff < p3.total_c_ff
+    # Resistance identical between modes (coupling is capacitive only).
+    assert p3c.total_r_kohm == pytest.approx(p3.total_r_kohm)
+
+
+def test_dff_capacitance_gain_largest():
+    gains = {}
+    for cell_type in TABLE1:
+        p2, p3, _ = _extract(cell_type)
+        gains[cell_type] = p3.total_c_ff / p2.total_c_ff
+    assert gains["DFF"] == max(gains.values())
+    assert gains["DFF"] > 1.1
+
+
+def test_coupling_only_in_3d():
+    p2, p3, p3c = _extract("DFF")
+    assert p2.total_coupling_ff == 0.0
+    assert p3.total_coupling_ff > 0.0
+    assert p3c.total_coupling_ff < p3.total_coupling_ff
+
+
+def test_mode_mismatch_raises():
+    nl = build_cell_netlist("INV", 1.0, NODE_45NM)
+    g2 = build_cell_geometry_2d(nl, NODE_45NM)
+    g3 = fold_cell_geometry(nl, NODE_45NM)
+    with pytest.raises(ExtractionError):
+        extract_cell(g2, ExtractionMode.DIELECTRIC)
+    with pytest.raises(ExtractionError):
+        extract_cell(g3, ExtractionMode.FLAT)
+
+
+def test_per_net_lookup():
+    p2, _, _ = _extract("INV")
+    net = p2.net("A")
+    assert net.resistance_kohm > 0.0
+    with pytest.raises(ExtractionError):
+        p2.net("NOPE")

@@ -1,0 +1,45 @@
+"""7 nm flow smoke tests and cross-node invariants."""
+
+import pytest
+
+from repro.flow.design_flow import FlowConfig, run_flow
+
+
+@pytest.fixture(scope="module")
+def fpu_7nm():
+    return run_flow(FlowConfig(circuit="fpu", node_name="7nm",
+                               scale=0.08))
+
+
+@pytest.fixture(scope="module")
+def fpu_45nm():
+    return run_flow(FlowConfig(circuit="fpu", node_name="45nm",
+                               scale=0.08))
+
+
+def test_7nm_flow_closes(fpu_7nm):
+    assert fpu_7nm.wns_ps >= -5.0
+    assert fpu_7nm.power.total_mw > 0.0
+
+
+def test_7nm_much_smaller(fpu_7nm, fpu_45nm):
+    # Cell area scales ~(7/45)^2 = 0.024x.
+    ratio = fpu_7nm.footprint_um2 / fpu_45nm.footprint_um2
+    assert ratio < 0.1
+
+
+def test_7nm_faster_clock(fpu_7nm, fpu_45nm):
+    # Table 12: 7 nm target clocks are 2-3x shorter.
+    assert fpu_7nm.clock_ns < fpu_45nm.clock_ns * 0.8
+
+
+def test_7nm_lower_dynamic_power(fpu_7nm, fpu_45nm):
+    # Lower VDD and tiny caps beat the faster clock.
+    assert fpu_7nm.power.total_mw < fpu_45nm.power.total_mw
+
+
+def test_7nm_leakage_share_higher(fpu_7nm, fpu_45nm):
+    # HP FinFET leakage becomes a larger share of total power at 7 nm.
+    share45 = fpu_45nm.power.leakage_mw / fpu_45nm.power.total_mw
+    share7 = fpu_7nm.power.leakage_mw / fpu_7nm.power.total_mw
+    assert share7 > share45

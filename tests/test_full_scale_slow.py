@@ -1,0 +1,37 @@
+"""Full-scale and large-scale validation (marked slow).
+
+Run with:  pytest tests -m slow
+"""
+
+import pytest
+
+from repro.circuits.generators import generate_benchmark
+from repro.flow.compare import run_iso_performance_comparison
+from repro.timing.graph import levelize
+
+
+@pytest.mark.slow
+def test_full_scale_aes_flow_comparison():
+    """The paper-size AES (≈12k cells pre-synthesis) end to end."""
+    cmp = run_iso_performance_comparison("aes", scale=1.0)
+    assert cmp.result_2d.wns_ps > -0.1 * cmp.clock_ns * 1000.0
+    assert -55.0 < cmp.diff("footprint_um2") < -30.0
+    assert cmp.diff("total_wirelength_um") < -10.0
+    assert cmp.power_diff("net_mw") < 0.0
+
+
+@pytest.mark.slow
+def test_full_scale_m256_generates_and_levelizes(lib45_2d):
+    """The 200k-cell M256 builds and is combinationally acyclic."""
+    module = generate_benchmark("m256", scale=1.0)
+    assert module.n_cells > 120000
+    order = levelize(module, lib45_2d)
+    seq = len(module.sequential_instances(lib45_2d))
+    assert len(order) + seq == module.n_cells
+
+
+@pytest.mark.slow
+def test_half_scale_ldpc_comparison_holds_shape():
+    cmp = run_iso_performance_comparison("ldpc", scale=0.3)
+    assert cmp.power_diff("total_mw") < -10.0
+    assert cmp.diff("footprint_um2") < -35.0

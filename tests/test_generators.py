@@ -1,0 +1,104 @@
+"""Benchmark generator tests (Table 12 characteristics)."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.circuits.generators import (
+    BENCHMARKS,
+    PAPER_CELL_COUNTS_45NM,
+    generate_benchmark,
+)
+from repro.circuits.stats import compute_stats
+from repro.timing.graph import levelize
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_generators_produce_valid_netlists(name):
+    scale = 0.06 if name != "m256" else 0.02
+    m = generate_benchmark(name, scale=scale)
+    m.validate()
+    assert m.n_cells > 100
+    assert m.clock_net is not None
+    assert m.primary_inputs and m.primary_outputs
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_generators_acyclic(name, lib45_2d):
+    scale = 0.06 if name != "m256" else 0.02
+    m = generate_benchmark(name, scale=scale)
+    order = levelize(m, lib45_2d)
+    seq = len(m.sequential_instances(lib45_2d))
+    assert len(order) + seq == m.n_cells
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_generators_deterministic(name):
+    a = generate_benchmark(name, scale=0.05)
+    b = generate_benchmark(name, scale=0.05)
+    assert a.n_cells == b.n_cells
+    assert a.n_nets == b.n_nets
+    assert [i.cell_name for i in a.instances[:50]] == \
+        [i.cell_name for i in b.instances[:50]]
+
+
+def test_scale_changes_size():
+    small = generate_benchmark("ldpc", scale=0.05)
+    big = generate_benchmark("ldpc", scale=0.15)
+    assert big.n_cells > small.n_cells * 2
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(set(BENCHMARKS) - {"m256"}))
+def test_full_scale_counts_near_paper(name):
+    if name == "m256":
+        pytest.skip("m256 full scale is exercised by the benches")
+    m = generate_benchmark(name, scale=1.0)
+    paper = PAPER_CELL_COUNTS_45NM[name]
+    assert m.n_cells == pytest.approx(paper, rel=0.45)
+
+
+def test_invalid_inputs():
+    with pytest.raises(NetlistError):
+        generate_benchmark("sha256")
+    with pytest.raises(NetlistError):
+        generate_benchmark("aes", scale=0.0)
+    with pytest.raises(NetlistError):
+        generate_benchmark("aes", scale=1.5)
+
+
+def test_des_has_tight_clusters(lib45_2d):
+    # DES: most cells in random-logic S-boxes (NAND/NOR/XOR mix),
+    # registers at round boundaries.
+    m = generate_benchmark("des", scale=0.1)
+    stats = compute_stats(m, lib45_2d)
+    assert stats.n_sequential > 100
+    assert stats.cells_by_type.get("XOR2", 0) > 100
+
+
+def test_ldpc_bipartite_long_nets(lib45_2d):
+    # LDPC: variable-state DFFs fan out to XOR trees of remote checks.
+    m = generate_benchmark("ldpc", scale=0.1)
+    stats = compute_stats(m, lib45_2d)
+    assert stats.cells_by_type.get("XOR2", 0) > stats.n_cells * 0.2
+    assert stats.n_sequential >= 200
+
+
+def test_m256_is_adder_array(lib45_2d):
+    m = generate_benchmark("m256", scale=0.02)
+    stats = compute_stats(m, lib45_2d)
+    assert stats.cells_by_type.get("FA", 0) > stats.n_cells * 0.2
+    assert stats.cells_by_type.get("AND2", 0) > stats.n_cells * 0.2
+
+
+def test_fpu_has_muxes_and_adders(lib45_2d):
+    m = generate_benchmark("fpu", scale=0.1)
+    stats = compute_stats(m, lib45_2d)
+    assert stats.cells_by_type.get("MUX2", 0) > 50
+    assert stats.cells_by_type.get("FA", 0) > 20
+
+
+def test_average_fanout_in_paper_range():
+    # Table 12: average fanout 2.2-2.6.
+    for name in ("aes", "des"):
+        m = generate_benchmark(name, scale=0.1)
+        assert 1.4 < m.average_fanout() < 3.0

@@ -1,0 +1,112 @@
+"""Cross-cutting property-based invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells.logic import (
+    combinational_inputs,
+    is_combinational,
+    output_probabilities,
+    boolean_difference_probability,
+)
+from repro.cells.netlist import build_cell_netlist, cell_types
+from repro.cells.transistor import device_params_for
+from repro.characterize.liberty import NLDMTable
+from repro.tech.node import NODE_45NM, NODE_7NM
+
+_COMB_TYPES = [t for t in cell_types() if is_combinational(t)]
+
+
+class TestDeviceModel:
+    @given(st.floats(min_value=0.0, max_value=1.1),
+           st.floats(min_value=0.0, max_value=1.1))
+    def test_current_nonnegative(self, vgs, vds):
+        params = device_params_for(NODE_45NM, is_pmos=False)
+        assert params.id_ua(0.415, vgs, vds) >= 0.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_current_monotone_in_vgs(self, vgs):
+        params = device_params_for(NODE_45NM, is_pmos=False)
+        i_lo = params.id_ua(0.415, vgs, 1.1)
+        i_hi = params.id_ua(0.415, vgs + 0.1, 1.1)
+        assert i_hi >= i_lo - 1e-12
+
+    @given(st.floats(min_value=0.05, max_value=1.1))
+    def test_zero_vds_zero_current(self, vgs):
+        params = device_params_for(NODE_45NM, is_pmos=False)
+        assert params.id_ua(0.415, vgs, 0.0) == pytest.approx(0.0,
+                                                              abs=1e-9)
+
+    @given(st.floats(min_value=0.01, max_value=2.0))
+    def test_effective_resistance_scales_inverse_width(self, width):
+        params = device_params_for(NODE_45NM, is_pmos=False)
+        r1 = params.effective_resistance_kohm(width, 1.1)
+        r2 = params.effective_resistance_kohm(width * 2.0, 1.1)
+        assert r2 == pytest.approx(r1 / 2.0, rel=1e-6)
+
+    def test_7nm_devices_stronger_per_um(self):
+        n45 = device_params_for(NODE_45NM, False)
+        n7 = device_params_for(NODE_7NM, False)
+        assert (n7.drive_current_ua(1.0, 0.7)
+                > n45.drive_current_ua(1.0, 1.1))
+
+
+class TestLogicInvariants:
+    @given(st.sampled_from(_COMB_TYPES),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_probability_bounds(self, cell_type, p):
+        pins = combinational_inputs(cell_type)
+        probs = output_probabilities(cell_type, {pin: p for pin in pins})
+        for value in probs.values():
+            assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(st.sampled_from(_COMB_TYPES))
+    @settings(max_examples=40)
+    def test_density_propagation_bounded_by_inputs(self, cell_type):
+        pins = combinational_inputs(cell_type)
+        probs = {pin: 0.5 for pin in pins}
+        out_probs = output_probabilities(cell_type, probs)
+        out_pin = next(iter(out_probs))
+        total_bd = sum(
+            boolean_difference_probability(cell_type, pin, out_pin, probs)
+            for pin in pins)
+        # Each boolean difference <= 1, so the propagated density is
+        # bounded by the sum of input densities.
+        assert total_bd <= len(pins) + 1e-9
+
+
+class TestNLDMInvariants:
+    @given(st.floats(min_value=1.0, max_value=200.0),
+           st.floats(min_value=0.1, max_value=30.0))
+    def test_interpolation_within_grid_bounds(self, slew, load):
+        table = NLDMTable([10.0, 50.0, 150.0], [0.5, 4.0, 16.0],
+                          [[1.0, 2.0, 4.0],
+                           [1.5, 3.0, 5.0],
+                           [3.0, 5.0, 9.0]])
+        value = table.lookup(slew, load)
+        if 10.0 <= slew <= 150.0 and 0.5 <= load <= 16.0:
+            assert 1.0 - 1e-9 <= value <= 9.0 + 1e-9
+
+
+class TestFoldingInvariants:
+    @given(st.sampled_from(cell_types()))
+    @settings(max_examples=30, deadline=None)
+    def test_folded_footprint_exactly_60_percent(self, cell_type):
+        from repro.cells.geometry import build_cell_geometry_2d
+        from repro.cells.folding import fold_cell_geometry
+        netlist = build_cell_netlist(cell_type, 1.0, NODE_45NM)
+        flat = build_cell_geometry_2d(netlist, NODE_45NM)
+        folded = fold_cell_geometry(netlist, NODE_45NM)
+        assert folded.footprint_um2 == pytest.approx(
+            flat.footprint_um2 * 0.6, rel=1e-6)
+
+    @given(st.sampled_from(cell_types()))
+    @settings(max_examples=30, deadline=None)
+    def test_miv_count_bounded_by_nets(self, cell_type):
+        from repro.cells.folding import fold_cell_geometry
+        netlist = build_cell_netlist(cell_type, 1.0, NODE_45NM)
+        folded = fold_cell_geometry(netlist, NODE_45NM)
+        n_nets = len(netlist.nets()) - 2   # minus rails
+        assert 1 <= folded.miv_count <= n_nets

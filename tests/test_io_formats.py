@@ -1,0 +1,115 @@
+"""I/O format tests: Verilog round-trip, Liberty writer, SPICE export."""
+
+import io
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.cells.netlist import build_cell_netlist
+from repro.cells.geometry import build_cell_geometry_2d
+from repro.circuits.generators import generate_benchmark
+from repro.circuits.verilog import read_verilog, write_verilog
+from repro.characterize.liberty_writer import write_liberty
+from repro.extraction.rc import ExtractionMode, extract_cell
+from repro.extraction.netlist_out import write_spice
+from repro.tech.node import NODE_45NM
+
+
+class TestVerilog:
+    def test_round_trip_preserves_structure(self, lib45_2d):
+        module = generate_benchmark("fpu", scale=0.06)
+        buffer = io.StringIO()
+        write_verilog(module, lib45_2d, buffer)
+        buffer.seek(0)
+        parsed = read_verilog(buffer, lib45_2d)
+        assert parsed.n_cells == module.n_cells
+        assert parsed.n_nets == module.n_nets
+        assert len(parsed.primary_inputs) == len(module.primary_inputs)
+        assert len(parsed.primary_outputs) == len(module.primary_outputs)
+        assert parsed.clock_net is not None
+
+    def test_round_trip_preserves_connectivity(self, lib45_2d):
+        module = generate_benchmark("fpu", scale=0.06)
+        buffer = io.StringIO()
+        write_verilog(module, lib45_2d, buffer)
+        buffer.seek(0)
+        parsed = read_verilog(buffer, lib45_2d)
+        for orig in module.instances[:100]:
+            copy = parsed.instance_by_name(orig.name)
+            assert copy.cell_name == orig.cell_name
+            orig_nets = {p: module.nets[n].name
+                         for p, n in orig.pin_nets.items()}
+            copy_nets = {p: parsed.nets[n].name
+                         for p, n in copy.pin_nets.items()}
+            assert orig_nets == copy_nets
+
+    def test_escaped_identifiers(self, lib45_2d):
+        module = generate_benchmark("fpu", scale=0.06)
+        text = io.StringIO()
+        write_verilog(module, lib45_2d, text)
+        out = text.getvalue()
+        # Bus-style names like ma[3] must be escaped.
+        assert "\\ma[0] " in out
+
+    def test_reader_rejects_garbage(self, lib45_2d):
+        with pytest.raises(NetlistError):
+            read_verilog(io.StringIO("module broken ("), lib45_2d)
+
+    def test_reader_rejects_unknown_cell(self, lib45_2d):
+        text = """
+        module t (a, z);
+          input a;
+          output z;
+          BOGUS_X9 g1 (.A(a), .ZN(z));
+        endmodule
+        """
+        from repro.errors import LibraryError
+        with pytest.raises(LibraryError):
+            read_verilog(io.StringIO(text), lib45_2d)
+
+
+class TestLiberty:
+    def test_writer_emits_all_cells(self, lib45_2d):
+        buffer = io.StringIO()
+        write_liberty(lib45_2d, buffer)
+        text = buffer.getvalue()
+        for cell in lib45_2d:
+            assert f"cell ({cell.name})" in text
+        assert text.count("lu_table_template") == 1
+        assert "cell_rise" in text
+        assert "internal_power" in text
+
+    def test_writer_marks_sequential_and_clock(self, lib45_2d):
+        buffer = io.StringIO()
+        write_liberty(lib45_2d, buffer)
+        text = buffer.getvalue()
+        assert "ff (IQ, IQN)" in text
+        assert "clock : true;" in text
+
+    def test_balanced_braces(self, lib45_2d):
+        buffer = io.StringIO()
+        write_liberty(lib45_2d, buffer)
+        text = buffer.getvalue()
+        assert text.count("{") == text.count("}")
+
+
+class TestSpice:
+    def test_inv_deck(self):
+        netlist = build_cell_netlist("INV", 1.0, NODE_45NM)
+        geometry = build_cell_geometry_2d(netlist, NODE_45NM)
+        parasitics = extract_cell(geometry, ExtractionMode.FLAT)
+        buffer = io.StringIO()
+        write_spice(netlist, parasitics, buffer)
+        text = buffer.getvalue()
+        assert ".subckt INV_X1 A ZN VDD VSS" in text
+        assert text.count("\nM") == 2          # two transistors
+        assert "R_A" in text                    # extracted poly resistance
+        assert ".ends" in text
+
+    def test_deck_without_parasitics(self):
+        netlist = build_cell_netlist("NAND2", 1.0, NODE_45NM)
+        buffer = io.StringIO()
+        write_spice(netlist, None, buffer)
+        text = buffer.getvalue()
+        assert text.count("\nM") == 4
+        assert "R_" not in text

@@ -1,0 +1,82 @@
+"""NLDM table tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CharacterizationError
+from repro.characterize.liberty import NLDMTable, TimingArc, CellCharacterization
+
+
+def _table():
+    return NLDMTable(
+        slews_ps=[10.0, 50.0, 100.0],
+        loads_ff=[1.0, 4.0, 16.0],
+        values=[[10.0, 20.0, 60.0],
+                [15.0, 25.0, 65.0],
+                [30.0, 40.0, 80.0]],
+    )
+
+
+def test_exact_grid_points():
+    t = _table()
+    assert t.lookup(10.0, 1.0) == pytest.approx(10.0)
+    assert t.lookup(100.0, 16.0) == pytest.approx(80.0)
+
+
+def test_bilinear_interpolation_midpoint():
+    t = _table()
+    assert t.lookup(30.0, 2.5) == pytest.approx((10 + 20 + 15 + 25) / 4.0)
+
+
+def test_extrapolation_beyond_grid():
+    t = _table()
+    # Linear continuation of the last segment in load.
+    inside = t.lookup(10.0, 16.0)
+    beyond = t.lookup(10.0, 28.0)
+    slope = (60.0 - 20.0) / (16.0 - 4.0)
+    assert beyond == pytest.approx(inside + slope * 12.0)
+
+
+def test_axis_validation():
+    with pytest.raises(CharacterizationError):
+        NLDMTable([10.0, 5.0], [1.0, 2.0], [[1, 2], [3, 4]])
+    with pytest.raises(CharacterizationError):
+        NLDMTable([10.0, 20.0], [1.0, 2.0], [[1, 2]])
+
+
+def test_scaled_table():
+    t = _table()
+    s = t.scaled(0.5, slew_axis_scale=0.42, load_axis_scale=0.18)
+    assert s.lookup(10.0 * 0.42, 1.0 * 0.18) == pytest.approx(5.0)
+
+
+def test_timing_arc_scaled():
+    t = _table()
+    arc = TimingArc("A", "Z", t, t, t)
+    scaled = arc.scaled(0.471, 0.420, 0.084, 1.0, 0.179)
+    assert scaled.delay.lookup(10.0, 1.0 * 0.179) == pytest.approx(
+        10.0 * 0.471)
+    assert scaled.internal_energy.lookup(10.0, 1.0 * 0.179) == \
+        pytest.approx(10.0 * 0.084)
+
+
+def test_cell_characterization_worst_arc():
+    fast = NLDMTable([10, 50], [1, 4], [[5, 6], [7, 8]])
+    slow = NLDMTable([10, 50], [1, 4], [[50, 60], [70, 80]])
+    char = CellCharacterization(
+        cell_name="X",
+        arcs={"Z1": TimingArc("A", "Z1", fast, fast, fast),
+              "Z2": TimingArc("A", "Z2", slow, slow, slow)},
+    )
+    assert char.worst_arc().output_pin == "Z2"
+    assert char.arc_for("Z1").output_pin == "Z1"
+    with pytest.raises(CharacterizationError):
+        char.arc_for("Z9")
+
+
+@given(st.floats(min_value=5.0, max_value=200.0),
+       st.floats(min_value=0.5, max_value=30.0))
+def test_lookup_monotone_in_load(slew, load):
+    t = _table()
+    assert t.lookup(slew, load + 1.0) >= t.lookup(slew, load) - 1e-9

@@ -1,0 +1,117 @@
+"""MNA transient solver tests on analytically solvable circuits."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.cells.transistor import device_params_for
+from repro.characterize.mna import MNACircuit
+from repro.characterize.waveforms import constant, RampStimulus
+from repro.tech.node import NODE_45NM
+
+
+def test_rc_charging_matches_analytic():
+    # 1 kohm into 10 fF: tau = 10 ps.
+    c = MNACircuit()
+    c.drive("VIN", constant(1.0), is_supply=True)
+    c.add_resistor("VIN", "OUT", 1.0)
+    c.add_capacitor("OUT", "GND", 10.0)
+    result = c.transient(t_stop_ns=0.1, dt_ns=0.0002, record=["OUT"])
+    out = result.voltage("OUT")
+    # At t = tau the voltage should be 1 - e^-1.
+    idx = int(0.01 / 0.0002)
+    assert out[idx] == pytest.approx(1.0 - math.exp(-1.0), abs=0.03)
+    assert out[-1] == pytest.approx(1.0, abs=0.01)
+
+
+def test_resistive_divider():
+    c = MNACircuit()
+    c.drive("VIN", constant(2.0), is_supply=True)
+    c.add_resistor("VIN", "MID", 1.0)
+    c.add_resistor("MID", "GND", 1.0)
+    c.add_capacitor("MID", "GND", 1.0)
+    result = c.transient(t_stop_ns=0.1, dt_ns=0.001, record=["MID"])
+    assert result.voltage("MID")[-1] == pytest.approx(1.0, abs=0.01)
+
+
+def test_supply_energy_of_capacitor_charge():
+    # Charging C through R from V draws E = C * V^2 from the supply.
+    c = MNACircuit()
+    c.drive("VIN", constant(1.0), is_supply=True)
+    c.add_resistor("VIN", "OUT", 1.0)
+    c.add_capacitor("OUT", "GND", 10.0)
+    result = c.transient(t_stop_ns=0.2, dt_ns=0.0002)
+    assert result.supply_energy_fj == pytest.approx(10.0, rel=0.05)
+
+
+def test_nmos_pulls_down():
+    params = device_params_for(NODE_45NM, is_pmos=False)
+    c = MNACircuit()
+    c.drive("VDD", constant(1.1), is_supply=True)
+    c.add_resistor("VDD", "OUT", 60.0)
+    c.add_capacitor("OUT", "GND", 5.0)
+    c.drive("G", constant(1.1))
+    c.add_mosfet(params, 0.415, gate="G", drain="OUT", source="GND")
+    result = c.transient(t_stop_ns=1.0, dt_ns=0.002, record=["OUT"])
+    final = result.voltage("OUT")[-1]
+    # On NMOS (Reff ~ 16 kohm) vs 60 kohm pull-up: output well below
+    # VDD/2.
+    assert final < 0.4
+
+
+def test_nmos_off_leaks_little():
+    params = device_params_for(NODE_45NM, is_pmos=False)
+    c = MNACircuit()
+    c.drive("VDD", constant(1.1), is_supply=True)
+    c.add_resistor("VDD", "OUT", 10.0)
+    c.add_capacitor("OUT", "GND", 5.0)
+    c.drive("G", constant(0.0))
+    c.add_mosfet(params, 0.415, gate="G", drain="OUT", source="GND")
+    result = c.transient(t_stop_ns=1.0, dt_ns=0.002, record=["OUT"])
+    assert result.voltage("OUT")[-1] > 1.0
+
+
+def test_cmos_inverter_switches():
+    nmos = device_params_for(NODE_45NM, is_pmos=False)
+    pmos = device_params_for(NODE_45NM, is_pmos=True)
+    c = MNACircuit()
+    c.drive("VDD", constant(1.1), is_supply=True)
+    stim = RampStimulus(v0=0.0, v1=1.1, start_ns=0.1, slew_ps=20.0)
+    c.drive("A", stim)
+    c.add_mosfet(nmos, 0.415, gate="A", drain="Z", source="GND")
+    c.add_mosfet(pmos, 0.630, gate="A", drain="Z", source="VDD")
+    c.add_capacitor("Z", "GND", 2.0)
+    result = c.transient(t_stop_ns=1.0, dt_ns=0.002, record=["Z"])
+    z = result.voltage("Z")
+    assert z[0] == pytest.approx(0.0, abs=0.05)   # initial state
+    # Before the edge the PMOS pulls Z high; after it the NMOS pulls low.
+    pre_edge = z[int(0.09 / 0.002)]
+    assert pre_edge > 0.9
+    assert z[-1] < 0.1
+
+
+def test_coupling_capacitor_between_nodes():
+    c = MNACircuit()
+    c.drive("A", RampStimulus(v0=0.0, v1=1.0, start_ns=0.01, slew_ps=10.0))
+    c.add_capacitor("A", "B", 5.0)
+    c.add_capacitor("B", "GND", 5.0)
+    c.add_resistor("B", "GND", 100.0)
+    result = c.transient(t_stop_ns=0.05, dt_ns=0.0002, record=["B"])
+    b = result.voltage("B")
+    # The aggressor edge couples onto B: peak near C ratio * swing.
+    assert b.max() > 0.2
+
+
+def test_bad_parameters_raise():
+    c = MNACircuit()
+    with pytest.raises(SimulationError):
+        c.add_resistor("A", "B", -1.0)
+    with pytest.raises(SimulationError):
+        c.add_capacitor("A", "B", -1.0)
+    with pytest.raises(SimulationError):
+        c.transient(t_stop_ns=0.0, dt_ns=0.1)
+    empty = MNACircuit()
+    with pytest.raises(SimulationError):
+        empty.transient(1.0, 0.01)

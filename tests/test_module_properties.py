@@ -1,0 +1,82 @@
+"""Property-based tests on gate-netlist mutations (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.netlist import Module
+
+
+def _build_star(n_sinks: int) -> Module:
+    m = Module("star")
+    a = m.add_net("a")
+    m.mark_primary_input(a)
+    drv = m.add_instance("drv", "INV_X2")
+    m.connect(drv, "A", a)
+    z = m.add_net("z")
+    m.connect(drv, "ZN", z, is_driver=True)
+    for k in range(n_sinks):
+        g = m.add_instance(f"s{k}", "INV_X1")
+        m.connect(g, "A", z)
+        out = m.add_net(f"o{k}")
+        m.connect(g, "ZN", out, is_driver=True)
+        m.mark_primary_output(out)
+    return m
+
+
+def _total_cell_pin_connections(m: Module) -> int:
+    return sum(len(i.pin_nets) for i in m.instances)
+
+
+def _total_net_endpoints(m: Module) -> int:
+    total = 0
+    for net in m.nets:
+        if net.driver is not None and net.driver[0] >= 0:
+            total += 1
+        total += sum(1 for s in net.sinks if s[0] >= 0)
+    return total
+
+
+@given(st.integers(min_value=2, max_value=12),
+       st.integers(min_value=1, max_value=6))
+@settings(max_examples=40)
+def test_buffer_insertion_conserves_connectivity(n_sinks, n_moved):
+    n_moved = min(n_moved, n_sinks)
+    m = _build_star(n_sinks)
+    z = m.net_by_name("z")
+    before_pins = _total_cell_pin_connections(m)
+    before_ends = _total_net_endpoints(m)
+    moved = [s for s in z.sinks if s[0] >= 0][:n_moved]
+    m.insert_buffer(z.index, "BUF_X4", moved)
+    m.validate()
+    # The buffer adds exactly two cell-pin connections (A and Z).
+    assert _total_cell_pin_connections(m) == before_pins + 2
+    assert _total_net_endpoints(m) == before_ends + 2
+    # Fanout conservation: z lost n_moved sinks, gained the buffer.
+    assert z.fanout == n_sinks - n_moved + 1
+
+
+@given(st.integers(min_value=1, max_value=10))
+@settings(max_examples=20)
+def test_repeated_buffering_keeps_netlist_valid(times):
+    m = _build_star(8)
+    z_idx = m.net_by_name("z").index
+    current = z_idx
+    for _ in range(times):
+        sinks = [s for s in m.nets[current].sinks if s[0] >= 0]
+        if len(sinks) < 2:
+            break
+        buf = m.insert_buffer(current, "BUF_X1", sinks[: len(sinks) // 2])
+        current = buf.pin_nets["Z"]
+    m.validate()
+
+
+@given(st.integers(min_value=2, max_value=10))
+@settings(max_examples=20)
+def test_resize_never_touches_connectivity(n_sinks):
+    m = _build_star(n_sinks)
+    before = [(i.name, dict(i.pin_nets)) for i in m.instances]
+    for inst in m.instances:
+        m.resize_instance(inst, inst.cell_name.replace("X1", "X4"))
+    after = [(i.name, dict(i.pin_nets)) for i in m.instances]
+    assert [p for _n, p in before] == [p for _n, p in after]
+    m.validate()

@@ -1,0 +1,127 @@
+"""Net-model and report-formatting unit tests."""
+
+import pytest
+
+from repro.circuits.netlist import Module
+from repro.flow.reports import format_table, percentage_diff, format_percentage
+from repro.synth.wlm import WireLoadModel
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import LayerClass, build_stack_2d
+from repro.tech.node import NODE_45NM
+from repro.timing.netmodel import (
+    PlacedNetModel,
+    RoutedNetModel,
+    WLMNetModel,
+    steiner_correction,
+)
+
+
+def _two_cell_module(distance_um: float) -> Module:
+    m = Module("pair")
+    a = m.add_net("a")
+    m.mark_primary_input(a)
+    g1 = m.add_instance("g1", "INV_X1")
+    m.connect(g1, "A", a)
+    z = m.add_net("z")
+    m.connect(g1, "ZN", z, is_driver=True)
+    g2 = m.add_instance("g2", "INV_X1")
+    m.connect(g2, "A", z)
+    out = m.add_net("out")
+    m.connect(g2, "ZN", out, is_driver=True)
+    m.mark_primary_output(out)
+    g1.x_um, g1.y_um = 0.0, 0.0
+    g2.x_um, g2.y_um = distance_um, 0.0
+    return m
+
+
+class TestPlacedNetModel:
+    def test_length_is_manhattan(self):
+        m = _two_cell_module(25.0)
+        model = PlacedNetModel(m, InterconnectModel(
+            build_stack_2d(NODE_45NM)))
+        net = m.net_by_name("z")
+        assert model.net_length_um(net) == pytest.approx(25.0)
+
+    def test_rc_scales_with_distance(self):
+        short = _two_cell_module(5.0)
+        long = _two_cell_module(30.0)
+        ic = InterconnectModel(build_stack_2d(NODE_45NM))
+        m_short = PlacedNetModel(short, ic)
+        m_long = PlacedNetModel(long, ic)
+        r_s, c_s = m_short.net_rc(short.net_by_name("z"))
+        r_l, c_l = m_long.net_rc(long.net_by_name("z"))
+        assert c_l > c_s * 3.0
+        assert r_l > r_s * 3.0
+
+    def test_cache_invalidation(self):
+        m = _two_cell_module(10.0)
+        model = PlacedNetModel(m, InterconnectModel(
+            build_stack_2d(NODE_45NM)))
+        net = m.net_by_name("z")
+        before = model.net_length_um(net)
+        m.instances[1].x_um = 40.0
+        assert model.net_length_um(net) == before     # cached
+        model.invalidate(net.index)
+        assert model.net_length_um(net) == pytest.approx(40.0)
+
+    def test_layer_class_by_length(self):
+        ic = InterconnectModel(build_stack_2d(NODE_45NM))
+        model = PlacedNetModel(_two_cell_module(1.0), ic)
+        assert model.layer_class_for_length(5.0) == LayerClass.LOCAL
+        assert model.layer_class_for_length(100.0) == \
+            LayerClass.INTERMEDIATE
+        assert model.layer_class_for_length(900.0) == LayerClass.GLOBAL
+
+
+class TestRoutedNetModel:
+    def test_lookup(self):
+        m = _two_cell_module(10.0)
+        net = m.net_by_name("z")
+        model = RoutedNetModel({net.index: 12.0}, {net.index: 0.05},
+                               {net.index: 1.3})
+        assert model.net_length_um(net) == 12.0
+        assert model.net_rc(net) == (0.05, 1.3)
+        other = m.net_by_name("a")
+        assert model.net_rc(other) == (0.0, 0.0)
+
+
+class TestWLMNetModel:
+    def test_fanout_drives_length(self):
+        ic = InterconnectModel(build_stack_2d(NODE_45NM))
+        wlm = WireLoadModel.estimate("x", 10000.0, 0.8, ic, False)
+        model = WLMNetModel(wlm)
+        m = _two_cell_module(1.0)
+        net = m.net_by_name("z")
+        assert model.net_length_um(net) == pytest.approx(
+            wlm.length_um(1))
+
+
+def test_steiner_correction_monotone():
+    values = [steiner_correction(f) for f in range(1, 20)]
+    assert values[0] == 1.0
+    assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestReports:
+    def test_percentage_formatting(self):
+        assert format_percentage(-41.66) == "-41.7%"
+        assert format_percentage(3.0) == "+3.0%"
+
+    def test_percentage_diff_zero_base(self):
+        assert percentage_diff(5.0, 0.0) == 0.0
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}]
+        text = format_table(rows, "title")
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_handles_missing_keys(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_format_table_empty(self):
+        assert format_table([], "empty") == "empty"

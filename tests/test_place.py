@@ -1,0 +1,113 @@
+"""Placement tests: floorplan, global placement, legalization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlacementError
+from repro.circuits.generators import generate_benchmark
+from repro.place.floorplan import Floorplan
+from repro.place.placer import Placer, total_hpwl
+
+
+@pytest.fixture(scope="module")
+def placed_aes(lib45_2d):
+    module = generate_benchmark("aes", scale=0.06)
+    result = Placer(lib45_2d, target_utilization=0.80).run(module)
+    return module, result
+
+
+def test_floorplan_area_matches_utilization(lib45_2d):
+    module = generate_benchmark("fpu", scale=0.08)
+    fp = Floorplan.for_module(module, lib45_2d, 0.80)
+    total_area = sum(lib45_2d.cell(i.cell_name).area_um2
+                     for i in module.instances)
+    assert fp.utilization_of(module, lib45_2d) == pytest.approx(0.80,
+                                                                abs=0.03)
+    assert fp.area_um2 == pytest.approx(total_area / 0.80, rel=0.05)
+
+
+def test_floorplan_row_height_matches_library(lib45_2d, lib45_3d):
+    module = generate_benchmark("fpu", scale=0.08)
+    fp2 = Floorplan.for_module(module, lib45_2d, 0.80)
+    fp3 = Floorplan.for_module(module, lib45_3d, 0.80)
+    assert fp2.row_height_um == pytest.approx(1.4)
+    assert fp3.row_height_um == pytest.approx(0.84)
+    # Footprint reduction ~= cell area reduction (Section 4.1 baseline).
+    assert fp3.area_um2 / fp2.area_um2 == pytest.approx(0.6, abs=0.03)
+
+
+def test_floorplan_rejects_bad_utilization(lib45_2d):
+    module = generate_benchmark("fpu", scale=0.08)
+    with pytest.raises(PlacementError):
+        Floorplan.for_module(module, lib45_2d, 0.0)
+
+
+def test_io_positions_on_boundary(lib45_2d):
+    module = generate_benchmark("fpu", scale=0.08)
+    fp = Floorplan.for_module(module, lib45_2d, 0.80)
+    assert fp.io_positions
+    for x, y in fp.io_positions.values():
+        on_edge = (abs(x) < 1e-6 or abs(x - fp.width_um) < 1e-6
+                   or abs(y) < 1e-6 or abs(y - fp.height_um) < 1e-6)
+        assert on_edge
+
+
+def test_placement_inside_core(placed_aes):
+    module, result = placed_aes
+    fp = result.floorplan
+    for inst in module.instances:
+        assert -1e-6 <= inst.x_um <= fp.width_um + 1e-6
+        assert -1e-6 <= inst.y_um <= fp.height_um + 1e-6
+
+
+def test_placement_on_rows(placed_aes):
+    module, result = placed_aes
+    row_h = result.floorplan.row_height_um
+    for inst in module.instances[:200]:
+        frac = (inst.y_um / row_h) % 1.0
+        assert frac == pytest.approx(0.5, abs=1e-6)
+
+
+def test_row_overlaps_negligible(placed_aes, lib45_2d):
+    """The legalizer is overlap-free except for its documented last-resort
+    fallback; total overlap must stay a negligible sliver of cell area."""
+    module, result = placed_aes
+    rows = {}
+    total_width = 0.0
+    for inst in module.instances:
+        rows.setdefault(round(inst.y_um, 3), []).append(inst)
+        total_width += lib45_2d.cell(inst.cell_name).width_um
+    overlap_sum = 0.0
+    for members in rows.values():
+        members.sort(key=lambda i: i.x_um)
+        for a, b in zip(members, members[1:]):
+            wa = lib45_2d.cell(a.cell_name).width_um
+            wb = lib45_2d.cell(b.cell_name).width_um
+            gap = (b.x_um - wb / 2.0) - (a.x_um + wa / 2.0)
+            if gap < -1e-9:
+                overlap_sum += -gap
+    assert overlap_sum < 0.01 * total_width
+
+
+def test_hpwl_beats_random(placed_aes, lib45_2d):
+    module, result = placed_aes
+    fp = result.floorplan
+    rng = np.random.default_rng(1)
+    saved = [(i.x_um, i.y_um) for i in module.instances]
+    for inst in module.instances:
+        inst.x_um = rng.uniform(0, fp.width_um)
+        inst.y_um = rng.uniform(0, fp.height_um)
+    random_hpwl = total_hpwl(module, fp)
+    for inst, (x, y) in zip(module.instances, saved):
+        inst.x_um, inst.y_um = x, y
+    assert result.hpwl_um < random_hpwl * 0.55
+
+
+def test_smaller_core_means_shorter_wires(lib45_2d, lib45_3d):
+    m2 = generate_benchmark("aes", scale=0.06)
+    m3 = generate_benchmark("aes", scale=0.06)
+    r2 = Placer(lib45_2d, 0.80).run(m2)
+    r3 = Placer(lib45_3d, 0.80).run(m3)
+    ratio = r3.hpwl_um / r2.hpwl_um
+    # ~sqrt(0.6) = 0.775 expected; allow placement noise.
+    assert 0.6 < ratio < 0.95

@@ -1,0 +1,118 @@
+"""Power analysis tests: activity propagation and the power breakdown."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.circuits.netlist import Module
+from repro.circuits.generators import generate_benchmark
+from repro.power.activity import propagate_activity, CLOCK_ACTIVITY
+from repro.power.analysis import analyze_power
+from repro.timing.netmodel import NetModel
+
+
+class FixedWireModel(NetModel):
+    def __init__(self, c_ff=2.0):
+        self.c = c_ff
+
+    def net_rc(self, net):
+        return 0.1, self.c
+
+    def net_length_um(self, net):
+        return 10.0
+
+
+def _inv_chain(n):
+    m = Module("chain")
+    prev = m.add_net("in")
+    m.mark_primary_input(prev)
+    for k in range(n):
+        inst = m.add_instance(f"i{k}", "INV_X1")
+        m.connect(inst, "A", prev)
+        out = m.add_net(f"n{k}")
+        m.connect(inst, "ZN", out, is_driver=True)
+        prev = out
+    m.mark_primary_output(prev)
+    return m
+
+
+def test_inverter_chain_activity_preserved(lib45_2d):
+    m = _inv_chain(5)
+    act = propagate_activity(m, lib45_2d, pi_activity=0.2)
+    # An inverter propagates density unchanged (boolean difference = 1).
+    for net in m.nets:
+        assert act.net_density(net.index) == pytest.approx(0.2)
+
+
+def test_nand_attenuates_activity(lib45_2d):
+    m = Module("nand")
+    a = m.add_net("a")
+    b = m.add_net("b")
+    m.mark_primary_input(a)
+    m.mark_primary_input(b)
+    g = m.add_instance("g", "NAND2_X1")
+    m.connect(g, "A", a)
+    m.connect(g, "B", b)
+    z = m.add_net("z")
+    m.connect(g, "ZN", z, is_driver=True)
+    m.mark_primary_output(z)
+    act = propagate_activity(m, lib45_2d, pi_activity=0.2)
+    # Each input toggles through with probability 0.5 -> 0.2*0.5*2 = 0.2
+    assert act.net_density(m.net_by_name("z").index) == pytest.approx(0.2)
+
+
+def test_clock_density(lib45_2d):
+    m = generate_benchmark("fpu", scale=0.06)
+    act = propagate_activity(m, lib45_2d)
+    assert act.net_density(m.clock_net) == CLOCK_ACTIVITY
+
+
+def test_power_breakdown_sums(lib45_2d):
+    m = generate_benchmark("fpu", scale=0.06)
+    report = analyze_power(m, lib45_2d, FixedWireModel(), clock_ns=2.0)
+    assert report.total_mw == pytest.approx(
+        report.cell_mw + report.net_mw + report.leakage_mw, rel=1e-9)
+    assert report.net_mw == pytest.approx(
+        report.net_wire_mw + report.net_pin_mw, rel=1e-9)
+    assert report.cell_mw > 0 and report.net_mw > 0
+    assert report.leakage_mw > 0
+    assert report.clock_mw > 0
+
+
+def test_power_scales_inverse_with_period(lib45_2d):
+    m = generate_benchmark("fpu", scale=0.06)
+    fast = analyze_power(m, lib45_2d, FixedWireModel(), clock_ns=1.0)
+    slow = analyze_power(m, lib45_2d, FixedWireModel(), clock_ns=2.0)
+    # Dynamic power halves; leakage unchanged.
+    assert fast.net_mw == pytest.approx(slow.net_mw * 2.0, rel=1e-6)
+    assert fast.leakage_mw == pytest.approx(slow.leakage_mw)
+
+
+def test_power_scales_with_activity(lib45_2d):
+    m = generate_benchmark("fpu", scale=0.06)
+    lo = analyze_power(m, lib45_2d, FixedWireModel(), 2.0,
+                       seq_activity=0.1)
+    hi = analyze_power(m, lib45_2d, FixedWireModel(), 2.0,
+                       seq_activity=0.3)
+    assert hi.total_mw > lo.total_mw
+    assert hi.leakage_mw == pytest.approx(lo.leakage_mw)
+
+
+def test_wire_cap_affects_only_net_power(lib45_2d):
+    m = generate_benchmark("fpu", scale=0.06)
+    thin = analyze_power(m, lib45_2d, FixedWireModel(1.0), 2.0)
+    fat = analyze_power(m, lib45_2d, FixedWireModel(4.0), 2.0)
+    assert fat.net_wire_mw > thin.net_wire_mw * 3.0
+    assert fat.net_pin_mw == pytest.approx(thin.net_pin_mw)
+    assert fat.leakage_mw == pytest.approx(thin.leakage_mw)
+
+
+def test_bad_clock_raises(lib45_2d):
+    m = _inv_chain(2)
+    with pytest.raises(PowerError):
+        analyze_power(m, lib45_2d, FixedWireModel(), clock_ns=0.0)
+
+
+def test_negative_activity_raises(lib45_2d):
+    m = _inv_chain(2)
+    with pytest.raises(PowerError):
+        propagate_activity(m, lib45_2d, pi_activity=-0.1)

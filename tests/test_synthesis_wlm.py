@@ -1,0 +1,106 @@
+"""Wire-load model and synthesis tests (Sections 3.4, S2, S4)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.circuits.generators import generate_benchmark
+from repro.synth.wlm import WireLoadModel
+from repro.synth.synthesis import Synthesizer, MAX_FANOUT
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import build_stack_2d, build_stack_tmi
+from repro.tech.node import NODE_45NM
+
+
+@pytest.fixture(scope="module")
+def interconnect_2d():
+    return InterconnectModel(build_stack_2d(NODE_45NM))
+
+
+@pytest.fixture(scope="module")
+def interconnect_3d():
+    return InterconnectModel(build_stack_tmi(NODE_45NM))
+
+
+def test_wlm_lengths_increase_with_fanout(interconnect_2d):
+    wlm = WireLoadModel.estimate("t", 20000.0, 0.8, interconnect_2d, False)
+    table = wlm.table()
+    lengths = [l for _f, l in table]
+    assert all(b > a for a, b in zip(lengths, lengths[1:]))
+    # Fig. 6 shape: fanout-20 nets reach a large fraction of the core.
+    assert wlm.length_um(20) > wlm.length_um(2) * 8.0
+
+
+def test_tmi_wlm_shorter(interconnect_2d, interconnect_3d):
+    # Same netlist, folded cells: T-MI cell area is 60 % of 2D.
+    wlm_2d = WireLoadModel.estimate("c-2D", 20000.0, 0.8,
+                                    interconnect_2d, False)
+    wlm_3d = WireLoadModel.estimate("c-3D", 12000.0, 0.8,
+                                    interconnect_3d, True)
+    ratio = wlm_3d.length_um(4) / wlm_2d.length_um(4)
+    # Section 3.4: wires ~20-30 % shorter.
+    assert ratio == pytest.approx(0.775, abs=0.05)
+
+
+def test_tmi_wlm_toggle(interconnect_3d):
+    with_tmi = WireLoadModel.estimate("a", 12000.0, 0.8, interconnect_3d,
+                                      True, use_tmi_lengths=True)
+    without = WireLoadModel.estimate("b", 12000.0, 0.8, interconnect_3d,
+                                     True, use_tmi_lengths=False)
+    assert without.length_um(4) > with_tmi.length_um(4)
+
+
+def test_wlm_estimate_validation(interconnect_2d):
+    with pytest.raises(SynthesisError):
+        WireLoadModel.estimate("bad", -1.0, 0.8, interconnect_2d, False)
+    with pytest.raises(SynthesisError):
+        WireLoadModel.estimate("bad", 100.0, 0.0, interconnect_2d, False)
+
+
+def test_synthesis_buffers_high_fanout(lib45_2d, interconnect_2d):
+    m = generate_benchmark("ldpc", scale=0.06)
+    wlm = WireLoadModel.estimate("ldpc", 10000.0, 0.8, interconnect_2d,
+                                 False)
+    synth = Synthesizer(lib45_2d, wlm).run(m)
+    for net in m.nets:
+        if not net.is_clock:
+            assert net.fanout <= MAX_FANOUT
+    assert synth.n_buffers_added > 0
+
+
+def test_synthesis_auto_clock_positive(lib45_2d, interconnect_2d):
+    m = generate_benchmark("fpu", scale=0.06)
+    wlm = WireLoadModel.estimate("fpu", 3000.0, 0.8, interconnect_2d, False)
+    synth = Synthesizer(lib45_2d, wlm, tightness="medium").run(m)
+    assert synth.clock_ns > 0.1
+    assert synth.met
+
+
+def test_synthesis_tightness_ordering(lib45_2d, interconnect_2d):
+    wlm = WireLoadModel.estimate("fpu", 3000.0, 0.8, interconnect_2d, False)
+    clocks = {}
+    for tight in ("fast", "medium", "slow"):
+        m = generate_benchmark("fpu", scale=0.05)
+        clocks[tight] = Synthesizer(lib45_2d, wlm,
+                                    tightness=tight).run(m).clock_ns
+    assert clocks["fast"] < clocks["medium"] < clocks["slow"]
+
+
+def test_synthesis_explicit_clock(lib45_2d, interconnect_2d):
+    m = generate_benchmark("fpu", scale=0.05)
+    wlm = WireLoadModel.estimate("fpu", 3000.0, 0.8, interconnect_2d, False)
+    synth = Synthesizer(lib45_2d, wlm, target_clock_ns=5.0).run(m)
+    assert synth.clock_ns == 5.0
+
+
+def test_synthesis_rejects_unknown_tightness(lib45_2d, interconnect_2d):
+    wlm = WireLoadModel.estimate("x", 3000.0, 0.8, interconnect_2d, False)
+    with pytest.raises(SynthesisError):
+        Synthesizer(lib45_2d, wlm, tightness="ludicrous")
+
+
+def test_synthesis_upsizes_overloaded_cells(lib45_2d, interconnect_2d):
+    m = generate_benchmark("aes", scale=0.06)
+    wlm = WireLoadModel.estimate("aes", 8000.0, 0.8, interconnect_2d, False)
+    Synthesizer(lib45_2d, wlm).run(m)
+    strengths = [lib45_2d.cell(i.cell_name).strength for i in m.instances]
+    assert max(strengths) > 1.0

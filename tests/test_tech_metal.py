@@ -1,0 +1,90 @@
+"""Metal stack tests (Table 3 and Fig. 9 of the paper)."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech.metal import (
+    LayerClass,
+    Tier,
+    build_stack_2d,
+    build_stack_tmi,
+    build_stack_tmi_modified,
+)
+from repro.tech.node import NODE_45NM, NODE_7NM
+
+
+def test_2d_stack_layer_counts():
+    stack = build_stack_2d(NODE_45NM)
+    assert len(stack) == 8           # M1-M8
+    assert len(stack.layers_in_class(LayerClass.M1)) == 1
+    assert len(stack.layers_in_class(LayerClass.LOCAL)) == 2
+    assert len(stack.layers_in_class(LayerClass.INTERMEDIATE)) == 3
+    assert len(stack.layers_in_class(LayerClass.GLOBAL)) == 2
+    assert not stack.is_3d
+
+
+def test_tmi_stack_layer_counts():
+    stack = build_stack_tmi(NODE_45NM)
+    assert len(stack) == 12          # MB1 + M1-M11
+    assert len(stack.layers_in_class(LayerClass.M1)) == 2
+    assert len(stack.layers_in_class(LayerClass.LOCAL)) == 5
+    assert len(stack.layers_in_class(LayerClass.INTERMEDIATE)) == 3
+    assert len(stack.layers_in_class(LayerClass.GLOBAL)) == 2
+    assert stack.is_3d
+    assert stack.layer("MB1").tier == Tier.BOTTOM
+
+
+def test_tmi_modified_stack():
+    # Fig. 9(c): 2 of the extra layers move to the intermediate class.
+    stack = build_stack_tmi_modified(NODE_45NM)
+    assert len(stack.layers_in_class(LayerClass.LOCAL)) == 4
+    assert len(stack.layers_in_class(LayerClass.INTERMEDIATE)) == 5
+    assert len(stack.layers_in_class(LayerClass.GLOBAL)) == 2
+
+
+def test_dimensions_match_table3():
+    stack = build_stack_2d(NODE_45NM)
+    m1 = stack.layer("M1")
+    assert (m1.width_nm, m1.spacing_nm, m1.thickness_nm) == (70.0, 65.0, 130.0)
+    m2 = stack.layer("M2")
+    assert (m2.width_nm, m2.spacing_nm, m2.thickness_nm) == (70.0, 70.0, 140.0)
+    m5 = stack.layer("M5")
+    assert (m5.width_nm, m5.spacing_nm, m5.thickness_nm) == (140.0, 140.0, 280.0)
+    m8 = stack.layer("M8")
+    assert (m8.width_nm, m8.spacing_nm, m8.thickness_nm) == (400.0, 400.0, 800.0)
+
+
+def test_7nm_dimensions_scaled():
+    stack = build_stack_2d(NODE_7NM)
+    m2 = stack.layer("M2")
+    assert m2.width_nm == pytest.approx(70.0 * 7.0 / 45.0, rel=0.01)
+    assert m2.thickness_nm == pytest.approx(140.0 * 7.0 / 45.0, rel=0.01)
+
+
+def test_routing_layers_exclude_m1_class():
+    stack = build_stack_tmi(NODE_45NM)
+    names = [l.name for l in stack.routing_layers()]
+    assert "MB1" not in names
+    assert "M1" not in names
+    assert "M2" in names
+
+
+def test_class_summary_rows():
+    rows = build_stack_2d(NODE_45NM).class_summary()
+    levels = [r["level"] for r in rows]
+    assert levels == ["global", "intermediate", "local", "M1"]
+    global_row = rows[0]
+    assert global_row["layers"] == "M7,M8"
+    assert global_row["width_nm"] == 400.0
+
+
+def test_unknown_layer_raises():
+    stack = build_stack_2d(NODE_45NM)
+    with pytest.raises(TechnologyError):
+        stack.layer("M99")
+
+
+def test_pitch():
+    m2 = build_stack_2d(NODE_45NM).layer("M2")
+    assert m2.pitch_nm == pytest.approx(140.0)
+    assert m2.pitch_um == pytest.approx(0.14)

@@ -1,0 +1,80 @@
+"""MIV, ITRS data, and 7 nm scaling-factor tests."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech.itrs import ITRS_PROJECTIONS, itrs_entry
+from repro.tech.miv import MIVModel
+from repro.tech.node import NODE_45NM, NODE_7NM
+from repro.tech.scaling import SCALING_45_TO_7, ScalingFactors
+
+
+class TestMIV:
+    def test_dimensions_45nm(self):
+        miv = MIVModel(NODE_45NM)
+        assert miv.diameter_nm == pytest.approx(70.0)
+        # Fig. 2(b): "MIV(140)" = 110 nm ILD + 30 nm top silicon.
+        assert miv.height_nm == pytest.approx(140.0)
+        assert miv.aspect_ratio == pytest.approx(2.0)
+
+    def test_7nm_aspect_ratio_kept_reasonable(self):
+        # Section 5: the ILD thins to 50 nm so the MIV aspect ratio stays
+        # reasonable despite the 10.8 nm diameter.
+        miv = MIVModel(NODE_7NM)
+        assert miv.aspect_ratio < 6.0
+
+    def test_parasitics_negligible(self):
+        # Section 1: "almost negligible parasitic RC".
+        miv = MIVModel(NODE_45NM)
+        assert miv.resistance_ohm < 5.0
+        assert miv.capacitance_ff < 0.1
+
+    def test_footprint_positive(self):
+        assert MIVModel(NODE_45NM).footprint_um2 > 0.0
+
+
+class TestITRS:
+    def test_table10_values(self):
+        e45 = itrs_entry("45nm")
+        assert e45.year == 2010
+        assert e45.nmos_drive_current_ua_per_um == 1210.0
+        assert e45.cu_effective_resistivity_uohm_cm == 4.08
+        e7 = itrs_entry("7nm")
+        assert e7.year == 2025
+        assert e7.nmos_drive_current_ua_per_um == 2228.0
+        assert e7.cu_effective_resistivity_uohm_cm == 15.02
+
+    def test_unknown_node(self):
+        with pytest.raises(TechnologyError):
+            itrs_entry("3nm")
+
+    def test_unit_cap_projection_decreases(self):
+        # Table 10: 0.19 -> 0.15 fF/um.
+        assert (ITRS_PROJECTIONS["7nm"].cu_unit_length_capacitance_ff_per_um
+                < ITRS_PROJECTIONS["45nm"]
+                .cu_unit_length_capacitance_ff_per_um)
+
+
+class TestScaling:
+    def test_s3_factors(self):
+        s = SCALING_45_TO_7
+        assert s.geometry == pytest.approx(0.1556, rel=0.01)
+        assert s.input_cap == pytest.approx(0.179)
+        assert s.cell_delay == pytest.approx(0.471)
+        assert s.output_slew == pytest.approx(0.420)
+        assert s.cell_power == pytest.approx(0.084)
+        assert s.leakage_power == pytest.approx(0.678)
+        assert s.internal_r == pytest.approx(7.7)
+        assert s.internal_c == pytest.approx(0.1556, rel=0.01)
+
+    def test_area_is_geometry_squared(self):
+        s = SCALING_45_TO_7
+        assert s.area == pytest.approx(s.geometry ** 2)
+
+    def test_internal_r_derivation_text(self):
+        text = SCALING_45_TO_7.derivation_internal_r()
+        assert "7.7" in text
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(TechnologyError):
+            ScalingFactors(geometry=-1.0)

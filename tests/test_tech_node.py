@@ -1,0 +1,63 @@
+"""Technology node tests (Table 6 of the paper)."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech.node import NODE_45NM, NODE_7NM, get_node, TMI_HEIGHT_RATIO
+
+
+def test_45nm_matches_table6():
+    assert NODE_45NM.vdd == pytest.approx(1.1)
+    assert NODE_45NM.device_type == "planar bulk"
+    assert NODE_45NM.drawn_length_nm == pytest.approx(50.0)
+    assert not NODE_45NM.fixed_transistor_width
+    assert NODE_45NM.beol_ild_k == pytest.approx(2.5)
+    assert NODE_45NM.m2_width_nm == pytest.approx(70.0)
+    assert NODE_45NM.miv_diameter_nm == pytest.approx(70.0)
+    assert NODE_45NM.ild_thickness_nm == pytest.approx(110.0)
+    assert NODE_45NM.cell_height_um == pytest.approx(1.4)
+
+
+def test_7nm_matches_table6():
+    assert NODE_7NM.vdd == pytest.approx(0.7)
+    assert NODE_7NM.device_type == "multi-gate"
+    assert NODE_7NM.drawn_length_nm == pytest.approx(11.0)
+    assert NODE_7NM.fixed_transistor_width
+    assert NODE_7NM.beol_ild_k == pytest.approx(2.2)
+    assert NODE_7NM.m2_width_nm == pytest.approx(10.8, rel=0.01)
+    assert NODE_7NM.miv_diameter_nm == pytest.approx(10.8, rel=0.01)
+    assert NODE_7NM.ild_thickness_nm == pytest.approx(50.0)
+    assert NODE_7NM.cell_height_um == pytest.approx(0.218)
+
+
+def test_tmi_cell_height_is_60_percent():
+    # Section 3.2: T-MI height 0.84 um vs 1.4 um.
+    assert NODE_45NM.tmi_cell_height_um == pytest.approx(0.84)
+    assert TMI_HEIGHT_RATIO == pytest.approx(0.6)
+    assert NODE_7NM.tmi_cell_height_um == pytest.approx(0.218 * 0.6)
+
+
+def test_geometry_scale():
+    assert NODE_45NM.geometry_scale == pytest.approx(1.0)
+    assert NODE_7NM.geometry_scale == pytest.approx(7.0 / 45.0, rel=0.01)
+
+
+def test_get_node():
+    assert get_node("45nm") is NODE_45NM
+    assert get_node("7nm") is NODE_7NM
+    with pytest.raises(TechnologyError):
+        get_node("22nm")
+
+
+def test_scaled_resistivity_copy():
+    half = NODE_45NM.scaled_resistivity(0.5)
+    assert half.local_resistivity_uohm_cm == pytest.approx(2.04)
+    # Global resistivity untouched (Table 9 footnote).
+    assert half.global_resistivity_uohm_cm == NODE_45NM.global_resistivity_uohm_cm
+    # Original is immutable.
+    assert NODE_45NM.local_resistivity_uohm_cm == pytest.approx(4.08)
+
+
+def test_scaled_resistivity_rejects_nonpositive():
+    with pytest.raises(TechnologyError):
+        NODE_45NM.scaled_resistivity(0.0)

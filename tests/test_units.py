@@ -1,0 +1,65 @@
+"""Unit conversion tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_length_conversions_roundtrip():
+    assert units.nm_to_um(1400.0) == pytest.approx(1.4)
+    assert units.um_to_nm(0.07) == pytest.approx(70.0)
+    assert units.um_to_mm(1000.0) == pytest.approx(1.0)
+    assert units.um_to_m(1.0e6) == pytest.approx(1.0)
+
+
+def test_time_conversions():
+    assert units.ps_to_ns(1500.0) == pytest.approx(1.5)
+    assert units.ns_to_ps(2.4) == pytest.approx(2400.0)
+
+
+def test_rc_product_is_ps():
+    # 1 kohm * 1 fF = 1 ps.
+    assert units.rc_to_ps(1.0, 1.0) == pytest.approx(1.0)
+    assert units.rc_to_ps(2.876, 4.108) == pytest.approx(11.814, rel=1e-3)
+
+
+def test_switching_energy():
+    # C V^2 at 1 fF, 1.1 V.
+    assert units.energy_fj(1.0, 1.1) == pytest.approx(1.21)
+
+
+def test_dynamic_power():
+    # 1 fJ per 1 ns cycle = 1 uW = 1e-3 mW.
+    assert units.dynamic_power_mw(1.0, 1.0) == pytest.approx(1.0e-3)
+    # AES-scale check: 10 pJ per 0.8 ns ~ 12.5 mW.
+    assert units.dynamic_power_mw(10000.0, 0.8) == pytest.approx(12.5)
+
+
+def test_leakage_power():
+    assert units.leakage_power_mw(1.0, 1.1) == pytest.approx(1.1e-3)
+
+
+def test_unit_resistance_matches_paper_7nm_m2():
+    # Section 5: 7 nm M2 is 638 ohm/um with rho = 15.02 uohm-cm,
+    # w = 10.8 nm, t = 21.8 nm.
+    r = units.unit_r_ohm_per_um(15.02, 0.0108, 0.0218)
+    assert r == pytest.approx(638.0, rel=0.01)
+
+
+def test_unit_resistance_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        units.unit_r_ohm_per_um(4.0, 0.0, 0.1)
+
+
+@given(st.floats(min_value=1e-3, max_value=1e6))
+def test_length_roundtrip_property(value):
+    assert units.nm_to_um(units.um_to_nm(value)) == pytest.approx(value)
+
+
+@given(st.floats(min_value=1e-3, max_value=1e4),
+       st.floats(min_value=1e-3, max_value=1e4))
+def test_rc_product_positive(r, c):
+    assert units.rc_to_ps(r, c) > 0.0

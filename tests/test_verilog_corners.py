@@ -1,0 +1,73 @@
+"""Verilog reader corner cases beyond the writer round-trip."""
+
+import io
+
+import pytest
+
+from repro.circuits.verilog import read_verilog, _tokenize
+
+
+def test_comments_ignored(lib45_2d):
+    text = """
+    // a header comment
+    module t (a, clk, z);   // trailing comment
+      input a;
+      input clk;
+      output z;
+      // a floating comment
+      wire w1;
+      INV_X1 g1 (.A(a), .ZN(w1));
+      DFF_X1 f1 (.D(w1), .CK(clk), .Q(z));
+    endmodule
+    """
+    module = read_verilog(io.StringIO(text), lib45_2d)
+    assert module.n_cells == 2
+    assert module.clock_net is not None
+    assert module.nets[module.clock_net].name == "clk"
+
+
+def test_escaped_identifiers_parse(lib45_2d):
+    text = r"""
+    module t (\a[0] , z);
+      input \a[0] ;
+      output z;
+      INV_X1 g1 (.A(\a[0] ), .ZN(z));
+    endmodule
+    """
+    module = read_verilog(io.StringIO(text), lib45_2d)
+    assert module.net_by_name("a[0]") is not None
+
+
+def test_multi_name_declarations(lib45_2d):
+    text = """
+    module t (a, b, z);
+      input a, b;
+      output z;
+      NAND2_X1 g1 (.A(a), .B(b), .ZN(z));
+    endmodule
+    """
+    module = read_verilog(io.StringIO(text), lib45_2d)
+    assert len(module.primary_inputs) == 2
+
+
+def test_tokenizer_punctuation():
+    tokens = _tokenize("module t(a,b); INV_X1 g(.A(a)); endmodule")
+    assert tokens[0] == "module"
+    assert "(" in tokens and ";" in tokens
+    assert "INV_X1" in tokens
+
+
+def test_implicit_wire_creation(lib45_2d):
+    # Nets used in instantiations without a wire declaration still parse
+    # (common in tool-emitted netlists).
+    text = """
+    module t (a, z);
+      input a;
+      output z;
+      INV_X1 g1 (.A(a), .ZN(mid));
+      INV_X1 g2 (.A(mid), .ZN(z));
+    endmodule
+    """
+    module = read_verilog(io.StringIO(text), lib45_2d)
+    assert module.n_cells == 2
+    assert module.net_by_name("mid") is not None

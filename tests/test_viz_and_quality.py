@@ -1,0 +1,70 @@
+"""Viz helpers plus repository-wide quality gates."""
+
+import importlib
+import pathlib
+import pkgutil
+
+import numpy as np
+import pytest
+
+import repro
+from repro.viz import heatmap, line_chart, bar_chart
+
+
+class TestViz:
+    def test_heatmap_shape(self):
+        grid = np.zeros((8, 4))
+        grid[3, 2] = 1.0
+        art = heatmap(grid)
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 8 for line in lines)
+        assert "@" in art
+
+    def test_heatmap_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(3))
+
+    def test_line_chart_contains_series(self):
+        chart = line_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0],
+                                       "b": [3.0, 2.0, 1.0]})
+        assert "o=a" in chart and "x=b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_bar_chart(self):
+        chart = bar_chart(["local", "global"], [10.0, 2.5], unit=" um")
+        assert "local" in chart
+        assert chart.count("#") > 0
+
+    def test_bar_chart_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+
+def _iter_repro_modules():
+    package_dir = pathlib.Path(repro.__file__).parent
+    for info in pkgutil.walk_packages([str(package_dir)], prefix="repro."):
+        yield info.name
+
+
+class TestQualityGates:
+    def test_every_module_has_docstring(self):
+        missing = []
+        for name in _iter_repro_modules():
+            module = importlib.import_module(name)
+            if not (module.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_every_module_imports_cleanly(self):
+        for name in _iter_repro_modules():
+            importlib.import_module(name)
+
+    def test_public_errors_derive_from_repro_error(self):
+        from repro import errors
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj is not errors.ReproError
+                    and obj.__module__ == "repro.errors"):
+                assert issubclass(obj, errors.ReproError), name

@@ -1,0 +1,121 @@
+"""Waveform-measurement and analytic-characterizer unit tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CharacterizationError
+from repro.characterize.waveforms import (
+    RampStimulus,
+    constant,
+    measure_delay_slew,
+    settled,
+)
+from repro.characterize.analytic import (
+    analytic_characterization,
+    pin_capacitance_ff,
+    _stack_depth,
+)
+from repro.cells.netlist import build_cell_netlist
+from repro.tech.node import NODE_45NM
+
+
+class TestRamp:
+    def test_values(self):
+        stim = RampStimulus(v0=0.0, v1=1.0, start_ns=0.1, slew_ps=100.0)
+        assert stim(0.0) == 0.0
+        assert stim(0.15) == pytest.approx(0.5)
+        assert stim(0.3) == 1.0
+        assert stim.mid_crossing_ns == pytest.approx(0.15)
+
+    def test_falling(self):
+        stim = RampStimulus(v0=1.0, v1=0.0, start_ns=0.0, slew_ps=50.0)
+        assert stim(0.025) == pytest.approx(0.5)
+        assert stim(1.0) == 0.0
+
+    def test_constant(self):
+        wf = constant(0.7)
+        assert wf(0.0) == 0.7
+        assert wf(99.0) == 0.7
+
+
+class TestMeasurement:
+    def _ramp_wave(self, t50_ns, slew_ns, rising=True, n=1000,
+                   t_end=2.0):
+        times = np.linspace(0.0, t_end, n)
+        lo, hi = (0.0, 1.0) if rising else (1.0, 0.0)
+        start = t50_ns - slew_ns / 2.0
+        wave = np.clip((times - start) / slew_ns, 0.0, 1.0)
+        return times, lo + (hi - lo) * wave
+
+    def test_delay_measurement(self):
+        times, wave = self._ramp_wave(1.0, 0.2)
+        delay, slew = measure_delay_slew(times, wave, vdd=1.0,
+                                         input_mid_ns=0.5,
+                                         output_rising=True)
+        assert delay == pytest.approx(500.0, abs=5.0)
+        assert slew == pytest.approx(200.0, abs=10.0)
+
+    def test_falling_measurement(self):
+        times, wave = self._ramp_wave(0.8, 0.3, rising=False)
+        delay, slew = measure_delay_slew(times, wave, vdd=1.0,
+                                         input_mid_ns=0.4,
+                                         output_rising=False)
+        assert delay == pytest.approx(400.0, abs=5.0)
+        assert slew == pytest.approx(300.0, abs=15.0)
+
+    def test_no_crossing_raises(self):
+        times = np.linspace(0.0, 1.0, 100)
+        wave = np.full(100, 0.1)
+        with pytest.raises(CharacterizationError):
+            measure_delay_slew(times, wave, 1.0, 0.0, True)
+
+    def test_settled(self):
+        assert settled(np.array([0.0, 0.5, 0.98]), 1.0, True)
+        assert not settled(np.array([0.0, 0.5, 0.7]), 1.0, True)
+        assert settled(np.array([1.0, 0.3, 0.01]), 1.0, False)
+
+
+class TestAnalytic:
+    def test_stack_depth(self):
+        nand3 = build_cell_netlist("NAND3", 1.0, NODE_45NM)
+        assert _stack_depth(nand3, "ZN", "VSS", is_pmos=False) == 3
+        assert _stack_depth(nand3, "ZN", "VDD", is_pmos=True) == 1
+
+    def test_pin_cap_scales_with_strength(self):
+        x1 = build_cell_netlist("INV", 1.0, NODE_45NM)
+        x4 = build_cell_netlist("INV", 4.0, NODE_45NM)
+        assert pin_capacitance_ff(x4, "A", NODE_45NM) == pytest.approx(
+            pin_capacitance_ff(x1, "A", NODE_45NM) * 4.0, rel=1e-6)
+
+    def test_tables_monotone(self):
+        netlist = build_cell_netlist("NAND2", 1.0, NODE_45NM)
+        char = analytic_characterization(netlist, None, NODE_45NM,
+                                         cell_type="NAND2")
+        delay = char.worst_arc().delay
+        for i in range(delay.values.shape[0]):
+            row = delay.values[i]
+            assert all(b > a for a, b in zip(row, row[1:]))
+
+    def test_multi_stage_cells_slower(self):
+        inv = analytic_characterization(
+            build_cell_netlist("INV", 1.0, NODE_45NM), None, NODE_45NM,
+            cell_type="INV")
+        mux = analytic_characterization(
+            build_cell_netlist("MUX2", 1.0, NODE_45NM), None, NODE_45NM,
+            cell_type="MUX2")
+        dff = analytic_characterization(
+            build_cell_netlist("DFF", 1.0, NODE_45NM), None, NODE_45NM,
+            cell_type="DFF")
+        d_inv = inv.worst_arc().delay.lookup(37.5, 3.2)
+        d_mux = mux.worst_arc().delay.lookup(37.5, 3.2)
+        d_dff = dff.worst_arc().delay.lookup(28.1, 3.2)
+        assert d_inv < d_mux < d_dff
+
+    @given(st.floats(min_value=5.0, max_value=150.0),
+           st.floats(min_value=0.5, max_value=12.0))
+    def test_delay_positive_everywhere(self, slew, load):
+        netlist = build_cell_netlist("NOR2", 1.0, NODE_45NM)
+        char = analytic_characterization(netlist, None, NODE_45NM,
+                                         cell_type="NOR2")
+        assert char.worst_arc().delay.lookup(slew, load) > 0.0

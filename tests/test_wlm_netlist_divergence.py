@@ -1,0 +1,59 @@
+"""The Table 15 mechanism at unit level: WLM choice changes synthesis.
+
+Section 3.4: "With these WLMs, the synthesized netlists for 2D and T-MI
+are different."  The T-MI WLM predicts shorter wires, so synthesis sizes
+less aggressively.
+"""
+
+import pytest
+
+from repro.circuits.generators import generate_benchmark
+from repro.synth.synthesis import Synthesizer
+from repro.synth.wlm import WireLoadModel
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import build_stack_tmi
+from repro.tech.node import NODE_45NM
+
+
+@pytest.fixture(scope="module")
+def interconnect():
+    return InterconnectModel(build_stack_tmi(NODE_45NM))
+
+
+def _synthesize(lib, interconnect, use_tmi_wlm: bool):
+    module = generate_benchmark("ldpc", scale=0.08)
+    area = sum(lib.cell(i.cell_name).area_um2 for i in module.instances)
+    wlm = WireLoadModel.estimate(
+        "ldpc", area, 0.8, interconnect, is_3d=True,
+        use_tmi_lengths=use_tmi_wlm)
+    Synthesizer(lib, wlm).run(module)
+    return module
+
+
+def test_wlm_choice_changes_sizing(lib45_3d, interconnect):
+    with_tmi = _synthesize(lib45_3d, interconnect, True)
+    without = _synthesize(lib45_3d, interconnect, False)
+    strengths_tmi = sum(lib45_3d.cell(i.cell_name).strength
+                        for i in with_tmi.instances)
+    strengths_2d = sum(lib45_3d.cell(i.cell_name).strength
+                       for i in without.instances)
+    # The 2D WLM predicts longer wires -> at least as much upsizing.
+    assert strengths_2d >= strengths_tmi
+
+
+def test_wlm_estimated_loads_differ(lib45_3d, interconnect):
+    area = 10000.0
+    wlm_tmi = WireLoadModel.estimate("x", area, 0.8, interconnect, True,
+                                     use_tmi_lengths=True)
+    wlm_2d = WireLoadModel.estimate("x", area, 0.8, interconnect, True,
+                                    use_tmi_lengths=False)
+    for fanout in (1, 2, 4, 8, 16):
+        assert wlm_tmi.cap_ff(fanout) < wlm_2d.cap_ff(fanout)
+        assert wlm_tmi.res_kohm(fanout) < wlm_2d.res_kohm(fanout)
+
+
+def test_wlm_area_attribute_consistency(interconnect):
+    wlm = WireLoadModel.estimate("x", 10000.0, 0.8, interconnect, False)
+    # Table rows match the direct query.
+    for fanout, length in wlm.table(max_fanout=10):
+        assert length == pytest.approx(wlm.length_um(fanout))
