@@ -8,6 +8,22 @@ cells                  list the characterized library
 export-lib PATH        write the library as a Liberty .lib file
 export-layout CIRCUIT PATH    run the flow, write a JSON layout summary
 export-verilog CIRCUIT PATH   write a benchmark netlist as Verilog
+
+Resilience flags (before the command)
+-------------------------------------
+--resume               persist flow results to the on-disk checkpoint
+                       store and reuse any already checkpointed run, so a
+                       killed bench session continues where it stopped
+--fresh                clear the checkpoint store first (use with
+                       ``--resume`` to force recomputation)
+--keep-going           degrade gracefully: a failed experiment row
+                       becomes an error-marked row plus an exit summary
+                       (exit code 1) instead of aborting the session
+--timeout SECONDS      per-stage wall-clock budget for supervised flow
+                       stages
+--checkpoint-dir PATH  where the checkpoint store lives (default:
+                       ``$REPRO_CHECKPOINT_DIR`` or
+                       ``~/.cache/repro/checkpoints``)
 """
 
 from __future__ import annotations
@@ -17,6 +33,7 @@ import importlib
 import sys
 from typing import List, Optional
 
+from repro.errors import ReproError
 from repro.flow.reports import format_table
 
 # Experiment id -> driver module name.
@@ -50,9 +67,9 @@ EXPERIMENTS = {
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.flow.compare import run_iso_performance_comparison
+    from repro.experiments.runner import cached_comparison
 
-    cmp = run_iso_performance_comparison(
+    cmp = cached_comparison(
         args.circuit,
         node_name=args.node,
         scale=args.scale,
@@ -67,6 +84,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
     key = args.id.lower().replace(" ", "")
     if key not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
@@ -79,6 +98,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     print(format_table(rows, f"{args.id} — measured"))
     print()
     print(format_table(module.reference(), f"{args.id} — paper"))
+    errors = runner.session_errors()
+    if errors:
+        print(f"\n{len(errors)} row(s) failed (--keep-going):",
+              file=sys.stderr)
+        for err in errors:
+            print(f"  {err.summary()}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -145,6 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="DAC'13 transistor-level monolithic 3D power study, "
                     "reproduced in Python",
     )
+    parser.add_argument("--resume", action="store_true",
+                        help="persist/reuse flow results in the on-disk "
+                             "checkpoint store")
+    parser.add_argument("--fresh", action="store_true",
+                        help="clear the checkpoint store before running")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="record failed experiment rows and keep "
+                             "running instead of aborting")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-stage wall-clock budget for supervised "
+                             "flow stages")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="PATH",
+                        help="checkpoint store directory (default: "
+                             "$REPRO_CHECKPOINT_DIR or "
+                             "~/.cache/repro/checkpoints)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compare", help="iso-performance 2D vs T-MI run")
@@ -193,10 +235,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_runtime(args: argparse.Namespace):
+    """Apply the resilience flags; returns a context for the invocation."""
+    from contextlib import nullcontext
+
+    from repro.experiments import runner
+    from repro.runtime.checkpoint import CheckpointStore
+    from repro.runtime.supervisor import (
+        StagePolicy,
+        StageSupervisor,
+        use_supervisor,
+    )
+
+    # A CLI invocation starts a fresh session: reset any state left by a
+    # previous in-process call (tests call main() repeatedly).
+    runner.clear_session_errors()
+    runner.set_keep_going(bool(args.keep_going))
+    if args.fresh:
+        store = CheckpointStore(args.checkpoint_dir)
+        n = store.clear()
+        print(f"cleared {n} checkpoint entr(ies) from {store.root}",
+              file=sys.stderr)
+    if args.resume:
+        runner.use_persistent_cache(args.checkpoint_dir)
+    else:
+        runner.disable_persistent_cache()
+    if args.timeout is not None:
+        return use_supervisor(StageSupervisor(
+            default_policy=StagePolicy(timeout_s=args.timeout)))
+    return nullcontext()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        with _configure_runtime(args):
+            return args.func(args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -3,7 +3,40 @@
 All exceptions raised deliberately by this library derive from
 :class:`ReproError`, so callers can catch library failures without also
 swallowing programming errors.
+
+Taxonomy
+--------
+
+``ReproError``
+    ├── ``TechnologyError``        bad node / stack / interconnect setup
+    ├── ``LibraryError``           cell-library problems
+    ├── ``NetlistError``           malformed netlists
+    ├── ``ExtractionError``        parasitic extraction
+    ├── ``CharacterizationError``  cell characterization
+    │     └── ``SimulationError``  transient simulation did not converge
+    ├── ``SynthesisError``         synthesis
+    ├── ``PlacementError``         placement
+    ├── ``RoutingError``           routing
+    │     └── ``CongestionError``  routing congestion above the retry
+    │                              trigger (carries the partial layout so
+    │                              the supervisor can degrade gracefully)
+    ├── ``TimingError``            sign-off STA
+    ├── ``PowerError``             power analysis
+    ├── ``CheckpointError``        persistent checkpoint store failures
+    └── ``FlowError``              end-to-end flow failures
+          ├── ``StageTimeoutError``    a supervised stage exceeded its
+          │                            wall-clock budget
+          └── ``RetryExhaustedError``  a supervised stage failed on every
+                                       permitted attempt
+
+The three runtime errors (``StageTimeoutError``, ``RetryExhaustedError``,
+``CheckpointError``) are raised by :mod:`repro.runtime`; everything else
+comes from the flow subsystems themselves.
 """
+
+from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -42,6 +75,24 @@ class RoutingError(ReproError):
     """Routing failure (e.g. unroutable congestion)."""
 
 
+class CongestionError(RoutingError):
+    """Routing congestion above the retry trigger.
+
+    Raised by the ``layout`` stage of the design flow when the busiest
+    routing tile overflows past ``CONGESTION_TRIGGER``.  Carries the
+    attempt's partial layout state in :attr:`partial` so the stage
+    supervisor can retry at a lower utilization or, once retries are
+    exhausted, degrade gracefully and proceed with routing detours —
+    exactly the paper's LDPC fallback.
+    """
+
+    def __init__(self, message: str, *, partial: object = None,
+                 overflow: Optional[float] = None):
+        super().__init__(message)
+        self.partial = partial
+        self.overflow = overflow
+
+
 class TimingError(ReproError):
     """Static timing analysis failure."""
 
@@ -50,8 +101,36 @@ class PowerError(ReproError):
     """Power analysis failure."""
 
 
+class CheckpointError(ReproError):
+    """Persistent checkpoint store failure (corrupt or unwritable entry)."""
+
+
 class FlowError(ReproError):
     """End-to-end design-flow failure (e.g. timing cannot be closed)."""
+
+
+class StageTimeoutError(FlowError):
+    """A supervised flow stage exceeded its wall-clock budget."""
+
+    def __init__(self, stage: str, timeout_s: float):
+        super().__init__(
+            f"stage {stage!r} exceeded its {timeout_s:g} s timeout")
+        self.stage = stage
+        self.timeout_s = timeout_s
+
+
+class RetryExhaustedError(FlowError):
+    """A supervised flow stage failed on every permitted attempt."""
+
+    def __init__(self, stage: str, attempts: int,
+                 last_error: Optional[BaseException] = None):
+        detail = (f": last error {type(last_error).__name__}: {last_error}"
+                  if last_error is not None else "")
+        super().__init__(
+            f"stage {stage!r} failed after {attempts} attempt(s){detail}")
+        self.stage = stage
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 class SimulationError(CharacterizationError):

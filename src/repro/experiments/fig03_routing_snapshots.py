@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 
-from repro.experiments.runner import cached_comparison
+from repro.experiments.runner import cached_comparison, resilient_rows
 from repro.tech.metal import LayerClass
 
 CIRCUITS = ("ldpc", "des")
@@ -24,12 +24,11 @@ PAPER = {
 
 
 def run(circuits=CIRCUITS) -> List[Dict[str, object]]:
-    rows = []
-    for circuit in circuits:
+    def one(circuit):
         result = cached_comparison(circuit).result_2d
         area = result.footprint_um2
         wl = result.total_wirelength_um
-        rows.append({
+        return {
             "circuit": circuit.upper(),
             "core (um x um)": (f"{result.core_width_um:.1f} x "
                                f"{result.core_height_um:.1f}"),
@@ -37,8 +36,9 @@ def run(circuits=CIRCUITS) -> List[Dict[str, object]]:
             "wire density (um/um2)": round(wl / area, 2),
             "avg net length (um)": round(
                 wl / max(len(result.routing.lengths_um), 1), 1),
-        })
-    return rows
+        }
+
+    return resilient_rows(circuits, one)
 
 
 def reference() -> List[Dict[str, object]]:

@@ -1,17 +1,35 @@
-"""Cached execution of flow runs for the experiment drivers.
+"""Cached, resilient execution of flow runs for the experiment drivers.
 
 A bench session touches many tables that share the same underlying layout
 runs (e.g. Tables 4, 13, 16 and Fig. 3 all need the 45 nm comparisons).
-Results are memoized in-process, keyed by the full flow configuration.
+Results are memoized at two levels:
+
+* **in-process** — dicts keyed by the canonical config hash from
+  :mod:`repro.runtime.checkpoint` (the old
+  ``tuple(sorted(asdict(config).items()))`` keys raised ``TypeError``
+  the moment a config grew a dict- or list-valued field);
+* **on disk** (opt-in via :func:`use_persistent_cache`, the CLI's
+  ``--resume``) — a :class:`repro.runtime.CheckpointStore`, so a bench
+  session killed mid-experiment resumes without recomputing any
+  completed run.
+
+The module also carries the session's **graceful-degradation policy**
+(:func:`set_keep_going`, the CLI's ``--keep-going``): experiment drivers
+route their per-row work through :func:`resilient_rows`, which under
+keep-going converts a failed row into an error-marked row plus a session
+error record instead of aborting the whole bench session.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict
-from typing import Dict, Optional, Tuple
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
+from repro.errors import ReproError
 from repro.flow.compare import ComparisonResult, run_iso_performance_comparison
 from repro.flow.design_flow import FlowConfig, LayoutResult, run_flow
+from repro.runtime.checkpoint import CheckpointStore, config_key
 
 # Default benchmark scales for experiment runs: the largest sizes that keep
 # a full bench session in minutes.  Recorded in EXPERIMENTS.md.
@@ -23,39 +41,173 @@ DEFAULT_SCALES: Dict[str, float] = {
     "m256": 0.06,
 }
 
-_COMPARISON_CACHE: Dict[Tuple, ComparisonResult] = {}
-_FLOW_CACHE: Dict[Tuple, LayoutResult] = {}
+_COMPARISON_CACHE: Dict[str, ComparisonResult] = {}
+_FLOW_CACHE: Dict[str, LayoutResult] = {}
+
+# Persistent checkpoint store; None means in-process memoization only.
+_STORE: Optional[CheckpointStore] = None
 
 
 def default_scale(circuit: str) -> float:
     return DEFAULT_SCALES.get(circuit.lower(), 0.1)
 
 
-def _key(circuit: str, node_name: str, scale: float, kwargs: dict) -> Tuple:
-    return (circuit, node_name, scale,
-            tuple(sorted(kwargs.items())))
+# -- cache keys -----------------------------------------------------------
 
+def flow_key(config: FlowConfig) -> str:
+    """Canonical, versioned checkpoint key for one flow run."""
+    return config_key("flow", asdict(config))
+
+
+def comparison_key(circuit: str, node_name: str, scale: float,
+                   kwargs: dict) -> str:
+    """Canonical, versioned checkpoint key for one paired comparison."""
+    return config_key("comparison", {
+        "circuit": circuit,
+        "node_name": node_name,
+        "scale": scale,
+        "kwargs": kwargs,
+    })
+
+
+# -- persistent store -----------------------------------------------------
+
+def use_persistent_cache(path: Union[str, Path, None] = None
+                         ) -> CheckpointStore:
+    """Enable the on-disk checkpoint store (the ``--resume`` path)."""
+    global _STORE
+    _STORE = CheckpointStore(Path(path) if path is not None else None)
+    return _STORE
+
+
+def disable_persistent_cache() -> None:
+    global _STORE
+    _STORE = None
+
+
+def persistent_store() -> Optional[CheckpointStore]:
+    return _STORE
+
+
+def _cache_lookup(cache: Dict[str, object], key: str) -> Optional[object]:
+    value = cache.get(key)
+    if value is None and _STORE is not None:
+        value = _STORE.load(key)
+        if value is not None:
+            cache[key] = value
+    return value
+
+
+def _cache_insert(cache: Dict[str, object], key: str, value: object) -> None:
+    cache[key] = value
+    if _STORE is not None:
+        _STORE.store(key, value)
+
+
+# -- cached execution -----------------------------------------------------
 
 def cached_comparison(circuit: str, node_name: str = "45nm",
                       scale: Optional[float] = None,
                       **kwargs) -> ComparisonResult:
     """Run (or fetch) an iso-performance 2D vs T-MI comparison."""
     scale = scale if scale is not None else default_scale(circuit)
-    key = _key(circuit, node_name, scale, kwargs)
-    if key not in _COMPARISON_CACHE:
-        _COMPARISON_CACHE[key] = run_iso_performance_comparison(
+    key = comparison_key(circuit, node_name, scale, kwargs)
+    value = _cache_lookup(_COMPARISON_CACHE, key)
+    if value is None:
+        value = run_iso_performance_comparison(
             circuit, node_name=node_name, scale=scale, **kwargs)
-    return _COMPARISON_CACHE[key]
+        _cache_insert(_COMPARISON_CACHE, key, value)
+    return value
 
 
 def cached_flow(config: FlowConfig) -> LayoutResult:
     """Run (or fetch) a single flow configuration."""
-    key = tuple(sorted(asdict(config).items()))
-    if key not in _FLOW_CACHE:
-        _FLOW_CACHE[key] = run_flow(config)
-    return _FLOW_CACHE[key]
+    key = flow_key(config)
+    value = _cache_lookup(_FLOW_CACHE, key)
+    if value is None:
+        value = run_flow(config)
+        _cache_insert(_FLOW_CACHE, key, value)
+    return value
 
 
-def clear_caches() -> None:
+def clear_caches(disk: bool = False) -> None:
+    """Drop the in-process memos (and, with ``disk=True``, the store)."""
     _COMPARISON_CACHE.clear()
     _FLOW_CACHE.clear()
+    if disk and _STORE is not None:
+        _STORE.clear()
+
+
+# -- graceful degradation (--keep-going) ----------------------------------
+
+@dataclass
+class RowError:
+    """One failed experiment row recorded under keep-going."""
+
+    label: str
+    error: str
+    message: str
+
+    def summary(self) -> str:
+        return f"{self.label}: {self.error}: {self.message}"
+
+
+class _Session:
+    def __init__(self) -> None:
+        self.keep_going = False
+        self.errors: List[RowError] = []
+
+
+_SESSION = _Session()
+
+
+def set_keep_going(flag: bool) -> None:
+    """Enable/disable row-level graceful degradation for this session."""
+    _SESSION.keep_going = flag
+
+
+def keep_going_enabled() -> bool:
+    return _SESSION.keep_going
+
+
+def session_errors() -> List[RowError]:
+    return list(_SESSION.errors)
+
+
+def clear_session_errors() -> None:
+    _SESSION.errors.clear()
+
+
+def _error_row(label: str, exc: ReproError) -> Dict[str, object]:
+    return {"circuit": str(label).upper(),
+            "error": f"{type(exc).__name__}: {exc}"}
+
+
+def resilient_rows(items: Iterable[object],
+                   row_fn: Callable[[object], Union[Dict[str, object],
+                                                    List[Dict[str, object]]]],
+                   label: Callable[[object], str] = str,
+                   error_row: Callable[[str, ReproError],
+                                       Dict[str, object]] = _error_row,
+                   ) -> List[Dict[str, object]]:
+    """Build table rows item by item, honoring the keep-going policy.
+
+    ``row_fn(item)`` returns one row dict or a list of them.  Without
+    keep-going a :class:`ReproError` propagates (aborting the
+    experiment, as before); with it, the failure becomes an error-marked
+    row and a session error record, and the remaining items still run.
+    """
+    rows: List[Dict[str, object]] = []
+    for item in items:
+        try:
+            out = row_fn(item)
+        except ReproError as exc:
+            if not _SESSION.keep_going:
+                raise
+            name = label(item)
+            _SESSION.errors.append(RowError(
+                label=name, error=type(exc).__name__, message=str(exc)))
+            rows.append(error_row(name, exc))
+        else:
+            rows.extend(out if isinstance(out, list) else [out])
+    return rows

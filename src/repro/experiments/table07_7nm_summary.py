@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.runner import cached_comparison
+from repro.experiments.runner import cached_comparison, resilient_rows
 
 CIRCUITS = ("fpu", "aes", "ldpc", "des", "m256")
 
@@ -20,11 +20,11 @@ PAPER = {
 
 def run(circuits=CIRCUITS,
         scale: Optional[float] = None) -> List[Dict[str, object]]:
-    rows = []
-    for circuit in circuits:
+    def one(circuit):
         cmp = cached_comparison(circuit, node_name="7nm", scale=scale)
-        rows.append(cmp.summary_row())
-    return rows
+        return cmp.summary_row()
+
+    return resilient_rows(circuits, one)
 
 
 def reference() -> List[Dict[str, object]]:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.runner import cached_comparison
+from repro.experiments.runner import cached_comparison, resilient_rows
 
 CIRCUITS = ("fpu", "aes", "ldpc", "des", "m256")
 
@@ -21,11 +21,11 @@ PAPER_RATIOS = {
 
 def run(circuits=CIRCUITS, node_name: str = "45nm",
         scale: Optional[float] = None) -> List[Dict[str, object]]:
-    rows = []
-    for circuit in circuits:
+    def one(circuit):
         cmp = cached_comparison(circuit, node_name=node_name, scale=scale)
-        rows.extend(cmp.detail_rows())
-    return rows
+        return cmp.detail_rows()
+
+    return resilient_rows(circuits, one)
 
 
 def buffer_ratios(circuits=CIRCUITS, node_name: str = "45nm"

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from repro.experiments.runner import (
     cached_comparison,
     cached_flow,
+    resilient_rows,
 )
 from repro.flow.reports import percentage_diff
 
@@ -31,13 +32,12 @@ PAPER = {
 
 def run(circuits=CIRCUITS,
         scale: Optional[float] = None) -> List[Dict[str, object]]:
-    rows = []
-    for circuit in circuits:
+    def one(circuit):
         cmp = cached_comparison(circuit, scale=scale)
         with_wlm = cmp.result_3d
         config_no = replace(with_wlm.config, use_tmi_wlm=False)
         without = cached_flow(config_no)
-        rows.append({
+        return {
             "design": f"{circuit.upper()}-3D",
             "WL (um)": round(with_wlm.total_wirelength_um, 0),
             "WL w/o T-MI WLM": round(without.total_wirelength_um, 0),
@@ -48,8 +48,9 @@ def run(circuits=CIRCUITS,
             "power w/o": round(without.power.total_mw, 4),
             "power delta (%)": round(percentage_diff(
                 without.power.total_mw, with_wlm.power.total_mw), 1),
-        })
-    return rows
+        }
+
+    return resilient_rows(circuits, one)
 
 
 def reference() -> List[Dict[str, object]]:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.runner import cached_comparison
+from repro.experiments.runner import cached_comparison, resilient_rows
 
 CIRCUITS = ("ldpc", "des")
 
@@ -25,18 +25,17 @@ PAPER = {
 
 def run(circuits=CIRCUITS,
         scale: Optional[float] = None) -> List[Dict[str, object]]:
-    rows = []
-    for circuit in circuits:
+    def one(circuit):
         cmp = cached_comparison(circuit, scale=scale)
-        for result in (cmp.result_2d, cmp.result_3d):
-            rows.append({
-                "design": f"{circuit.upper()}-{result.config.style()}",
-                "wire cap (pF)": round(result.power.wire_cap_pf, 3),
-                "pin cap (pF)": round(result.power.pin_cap_pf, 3),
-                "wire power (mW)": round(result.power.net_wire_mw, 4),
-                "pin power (mW)": round(result.power.net_pin_mw, 4),
-            })
-    return rows
+        return [{
+            "design": f"{circuit.upper()}-{result.config.style()}",
+            "wire cap (pF)": round(result.power.wire_cap_pf, 3),
+            "pin cap (pF)": round(result.power.pin_cap_pf, 3),
+            "wire power (mW)": round(result.power.net_wire_mw, 4),
+            "pin power (mW)": round(result.power.net_pin_mw, 4),
+        } for result in (cmp.result_2d, cmp.result_3d)]
+
+    return resilient_rows(circuits, one)
 
 
 def reference() -> List[Dict[str, object]]:

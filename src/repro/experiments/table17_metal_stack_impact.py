@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from repro.experiments.runner import (
     cached_comparison,
     cached_flow,
+    resilient_rows,
 )
 from repro.flow.reports import percentage_diff
 
@@ -28,13 +29,12 @@ PAPER = {
 
 def run(circuits=CIRCUITS,
         scale: Optional[float] = None) -> List[Dict[str, object]]:
-    rows = []
-    for circuit in circuits:
+    def one(circuit):
         cmp = cached_comparison(circuit, node_name="7nm", scale=scale)
         base = cmp.result_3d
         config_m = replace(base.config, metal_stack="tmi+m")
         modified = cached_flow(config_m)
-        rows.append({
+        return {
             "design": f"{circuit.upper()}-3D vs +M",
             "WL (um)": round(base.total_wirelength_um, 0),
             "WL +M": round(modified.total_wirelength_um, 0),
@@ -45,8 +45,9 @@ def run(circuits=CIRCUITS,
             "power +M": round(modified.power.total_mw, 4),
             "power delta (%)": round(percentage_diff(
                 modified.power.total_mw, base.power.total_mw), 1),
-        })
-    return rows
+        }
+
+    return resilient_rows(circuits, one)
 
 
 def reference() -> List[Dict[str, object]]:

@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 from repro.flow.design_flow import FlowConfig, LayoutResult, run_flow
 from repro.flow.reports import percentage_diff
+from repro.runtime.supervisor import current_supervisor
 
 
 @dataclass
@@ -66,6 +67,7 @@ def run_iso_performance_comparison(
     Extra keyword arguments are forwarded to both FlowConfigs (pin-cap
     scale, resistivity scale, metal stack, activities, ...).
     """
+    supervisor = current_supervisor()
     config_2d = FlowConfig(
         circuit=circuit,
         node_name=node_name,
@@ -75,12 +77,14 @@ def run_iso_performance_comparison(
         target_clock_ns=target_clock_ns,
         **config_kwargs,
     )
-    result_2d = run_flow(config_2d)
+    with supervisor.run_context(f"{circuit}@{node_name}-2D"):
+        result_2d = run_flow(config_2d)
     # Iso-performance AND iso-floorplan-policy: the T-MI design takes the
     # 2D design's closed clock and its final (possibly congestion-lowered)
     # utilization target, as the paper does per circuit.
     config_3d = replace(config_2d, is_3d=True,
                         target_clock_ns=result_2d.clock_ns,
                         target_utilization=result_2d.utilization_target)
-    result_3d = run_flow(config_3d)
+    with supervisor.run_context(f"{circuit}@{node_name}-3D"):
+        result_3d = run_flow(config_3d)
     return ComparisonResult(result_2d=result_2d, result_3d=result_3d)

@@ -5,6 +5,19 @@ floorplan + placement -> pre-route optimization -> CTS -> global routing
 (with the congestion-driven utilization fallback the paper applies to
 LDPC) -> post-route optimization -> sign-off STA -> statistical power.
 
+Every stage runs through the active
+:class:`repro.runtime.supervisor.StageSupervisor` under the names
+``prepare``, ``synthesis``, ``layout``, ``post_route``, ``signoff`` and
+``power`` — which supplies per-stage timeouts, a structured run journal,
+fault-injection hooks, and the congestion retry/degradation policy that
+used to be an ad-hoc loop here: the ``layout`` stage raises
+:class:`repro.errors.CongestionError` (carrying the attempt's partial
+layout) when the busiest routing tile overflows past
+``CONGESTION_TRIGGER``; the supervisor retries it up to
+``MAX_ROUTE_RETRIES`` times, lowering the placement utilization by
+``CONGESTION_UTIL_STEP`` between attempts, and finally degrades
+gracefully — proceeding with routing detours, the paper's LDPC move.
+
 All experiment knobs of the paper's studies are exposed on
 :class:`FlowConfig`: node, integration style, metal stack variant
 (Table 17), local-resistivity scale (Table 9), pin-cap scale (Table 8),
@@ -21,6 +34,8 @@ from typing import Dict, Optional, Tuple
 
 from repro.cells.nangate import build_nangate_library
 from repro.circuits.generators import generate_benchmark
+from repro.errors import CongestionError, RoutingError
+from repro.runtime.supervisor import StagePolicy, current_supervisor
 from repro.opt.cts import synthesize_clock_tree
 from repro.opt.optimizer import Optimizer
 from repro.place.placer import Placer
@@ -45,6 +60,13 @@ logger = logging.getLogger(__name__)
 CONGESTION_UTIL_STEP = 0.65
 MAX_ROUTE_RETRIES = 3
 CONGESTION_TRIGGER = 1.10
+
+# Supervisor policy for the layout stage: a CongestionError is retried
+# (at lowered utilization, see run_flow's _on_congestion) and, once
+# retries are exhausted, degraded to the congested partial layout.
+LAYOUT_POLICY = StagePolicy(max_attempts=MAX_ROUTE_RETRIES,
+                            retry_on=(RoutingError,),
+                            degrade=True)
 
 # Library cache: (node name, is_3d) -> CellLibrary.
 _LIBRARY_CACHE: Dict[Tuple[str, bool], object] = {}
@@ -146,40 +168,67 @@ def _count_buffers(module, library) -> int:
     return n
 
 
+@dataclass
+class _LayoutAttempt:
+    """State produced by one layout attempt (placement through routing)."""
+
+    floorplan: object
+    net_model: PlacedNetModel
+    optimizer: Optimizer
+    router: GlobalRouter
+    routing: RoutingResult
+    pre_opt_buffers: int
+    utilization_target: float
+
+
 def run_flow(config: FlowConfig) -> LayoutResult:
-    """Run the full flow for one configuration."""
-    node = get_node(config.node_name)
-    library = library_for(config.node_name, config.is_3d)
-    if config.pin_cap_scale != 1.0:
-        library = library.scale_pin_caps(config.pin_cap_scale)
-    stack = _stack_for(config, node)
-    interconnect = InterconnectModel(
-        stack, local_resistivity_scale=config.local_resistivity_scale)
+    """Run the full flow for one configuration (supervised stages)."""
+    supervisor = current_supervisor()
+
+    def _prepare():
+        node = get_node(config.node_name)
+        library = library_for(config.node_name, config.is_3d)
+        if config.pin_cap_scale != 1.0:
+            library = library.scale_pin_caps(config.pin_cap_scale)
+        stack = _stack_for(config, node)
+        interconnect = InterconnectModel(
+            stack, local_resistivity_scale=config.local_resistivity_scale)
+        return library, interconnect
+
+    library, interconnect = supervisor.run_stage("prepare", _prepare)
 
     # -- synthesis -------------------------------------------------------------
-    module = generate_benchmark(config.circuit, scale=config.scale,
-                                seed=config.seed)
-    pre_area = sum(library.cell(i.cell_name).area_um2
-                   for i in module.instances)
-    wlm = WireLoadModel.estimate(
-        name=f"{config.circuit}-{config.style()}",
-        total_cell_area_um2=pre_area,
-        utilization=config.target_utilization,
-        interconnect=interconnect,
-        is_3d=config.is_3d,
-        use_tmi_lengths=config.use_tmi_wlm,
-    )
-    synthesizer = Synthesizer(library, wlm,
-                              target_clock_ns=config.target_clock_ns,
-                              tightness=config.tightness)
-    synth = synthesizer.run(module)
-    clock_ns = synth.clock_ns
+    def _synthesis():
+        module = generate_benchmark(config.circuit, scale=config.scale,
+                                    seed=config.seed)
+        pre_area = sum(library.cell(i.cell_name).area_um2
+                       for i in module.instances)
+        wlm = WireLoadModel.estimate(
+            name=f"{config.circuit}-{config.style()}",
+            total_cell_area_um2=pre_area,
+            utilization=config.target_utilization,
+            interconnect=interconnect,
+            is_3d=config.is_3d,
+            use_tmi_lengths=config.use_tmi_wlm,
+        )
+        synthesizer = Synthesizer(library, wlm,
+                                  target_clock_ns=config.target_clock_ns,
+                                  tightness=config.tightness)
+        synth = synthesizer.run(module)
+        return module, synth.clock_ns
+
+    module, clock_ns = supervisor.run_stage("synthesis", _synthesis)
     synthesis_cells = module.n_cells
 
     # -- placement + optimization + routing, with congestion fallback ----------
+    # One supervised attempt; congestion raises and the supervisor
+    # retries at lowered utilization, or degrades to the congested
+    # layout once MAX_ROUTE_RETRIES attempts are exhausted.
     utilization_target = config.target_utilization
     cts_buffers = 0
-    for attempt in range(MAX_ROUTE_RETRIES):
+
+    def _layout_attempt() -> _LayoutAttempt:
+        nonlocal cts_buffers
         placer = Placer(library, target_utilization=utilization_target)
         placement = placer.run(module)
         floorplan = placement.floorplan
@@ -190,90 +239,125 @@ def run_flow(config: FlowConfig) -> LayoutResult:
         pre_opt = optimizer.run(module, net_model)
 
         cts = synthesize_clock_tree(module, library, floorplan)
+        # Buffers inserted for a dense floorplan stay across retries;
+        # re-placement re-legalizes everything in the larger core.
         cts_buffers += cts.n_buffers
 
         router = GlobalRouter(library, interconnect, floorplan)
         routing = router.run(module)
-        if routing.grid.worst_overflow() <= CONGESTION_TRIGGER:
-            break
-        if config.target_clock_ns is not None:
-            # Paired run at an externally chosen clock: the floorplan
-            # policy (utilization) is part of the experiment setup and
-            # must match the lead run; congestion shows up as routing
-            # detours and timing pressure instead (exactly the 7 nm T-MI
-            # congestion effect Section 6 discusses).
-            break
-        if attempt == MAX_ROUTE_RETRIES - 1:
-            logger.warning(
-                "%s %s: still congested at utilization %.2f "
-                "(overflow %.2f); proceeding with routing detours",
-                config.circuit, config.style(), utilization_target,
-                routing.grid.worst_overflow())
-            break
+        attempt = _LayoutAttempt(
+            floorplan=floorplan,
+            net_model=net_model,
+            optimizer=optimizer,
+            router=router,
+            routing=routing,
+            pre_opt_buffers=pre_opt.n_buffers_added,
+            utilization_target=utilization_target,
+        )
+        overflow = routing.grid.worst_overflow()
+        if overflow > CONGESTION_TRIGGER and config.target_clock_ns is None:
+            raise CongestionError(
+                f"{config.circuit} {config.style()}: congestion overflow "
+                f"{overflow:.2f} at utilization {utilization_target:.2f}",
+                partial=attempt, overflow=overflow)
+        # Paired run at an externally chosen clock: the floorplan policy
+        # (utilization) is part of the experiment setup and must match
+        # the lead run; congestion shows up as routing detours and
+        # timing pressure instead (exactly the 7 nm T-MI congestion
+        # effect Section 6 discusses).
+        return attempt
+
+    def _on_congestion(attempt_no: int, exc: BaseException) -> None:
+        nonlocal utilization_target
         # The paper's move: lower placement utilization and redo layout
         # (LDPC went from 80 % to ~33 %).
         logger.info(
-            "%s %s: congestion overflow %.2f at utilization %.2f; "
+            "%s %s: congestion overflow %s at utilization %.2f; "
             "retrying at %.2f", config.circuit, config.style(),
-            routing.grid.worst_overflow(), utilization_target,
+            getattr(exc, "overflow", None), utilization_target,
             utilization_target * CONGESTION_UTIL_STEP)
         utilization_target *= CONGESTION_UTIL_STEP
-        # Buffers inserted for the dense floorplan stay; re-placement
-        # re-legalizes everything in the larger core.
+
+    layout = supervisor.run_stage("layout", _layout_attempt,
+                                  policy=LAYOUT_POLICY,
+                                  on_retry=_on_congestion)
+    floorplan = layout.floorplan
+    net_model = layout.net_model
+    optimizer = layout.optimizer
+    router = layout.router
+    utilization_target = layout.utilization_target
 
     # -- post-route optimization -------------------------------------------------
-    net_model.invalidate()
-    post_opt = optimizer.run(module, net_model)
-    routing = router.run(module)
+    def _post_route():
+        net_model.invalidate()
+        post_opt = optimizer.run(module, net_model)
+        routing = router.run(module)
+        return post_opt, routing
+
+    post_opt, routing = supervisor.run_stage("post_route", _post_route)
 
     # -- sign-off -------------------------------------------------------------------
-    routed_model = RoutedNetModel(routing.lengths_um,
-                                  routing.resistances_kohm,
-                                  routing.capacitances_ff)
-    analyzer = TimingAnalyzer(module, library, routed_model, clock_ns)
-    report = analyzer.run()
-    if config.target_clock_ns is None:
-        retuned = False
-        if report.wns_ps < 0.0:
-            # The WLM estimate was optimistic for this layout; relax the
-            # period to the achieved one (rounded up to 10 ps) so the
-            # design signs off timing-clean, then hand the same clock to
-            # the paired T-MI run for the iso-performance comparison.
-            clock_ns = math.ceil(
-                (clock_ns * 1000.0 - report.wns_ps) / 10.0) / 100.0
-            retuned = True
-        elif report.wns_ps > 0.04 * clock_ns * 1000.0:
-            # The WLM estimate was badly pessimistic: the achieved layout
-            # is much faster than the requested clock, leaving the design
-            # under no optimization pressure at all.  Re-target near the
-            # achieved critical path (keeping the tightness margin) and
-            # re-optimize, as a designer iterating on the clock would.
-            achieved_ps = clock_ns * 1000.0 - report.wns_ps
-            margin = {"fast": 1.0, "medium": 1.05, "slow": 1.30}[
-                config.tightness]
-            clock_ns = math.ceil(achieved_ps * margin / 10.0) / 100.0
-            optimizer = Optimizer(library, interconnect, floorplan,
-                                  clock_ns)
-            net_model.invalidate()
-            optimizer.run(module, net_model, fix_drvs=False)
-            routing = router.run(module)
-            routed_model = RoutedNetModel(routing.lengths_um,
-                                          routing.resistances_kohm,
-                                          routing.capacitances_ff)
-            retuned = True
-        if retuned:
-            analyzer = TimingAnalyzer(module, library, routed_model,
-                                      clock_ns)
-            report = analyzer.run()
+    def _signoff():
+        clock = clock_ns
+        route = routing
+        opt = optimizer
+        routed_model = RoutedNetModel(route.lengths_um,
+                                      route.resistances_kohm,
+                                      route.capacitances_ff)
+        analyzer = TimingAnalyzer(module, library, routed_model, clock)
+        report = analyzer.run()
+        if config.target_clock_ns is None:
+            retuned = False
             if report.wns_ps < 0.0:
-                clock_ns = math.ceil(
-                    (clock_ns * 1000.0 - report.wns_ps) / 10.0) / 100.0
+                # The WLM estimate was optimistic for this layout; relax
+                # the period to the achieved one (rounded up to 10 ps) so
+                # the design signs off timing-clean, then hand the same
+                # clock to the paired T-MI run for the iso-performance
+                # comparison.
+                clock = math.ceil(
+                    (clock * 1000.0 - report.wns_ps) / 10.0) / 100.0
+                retuned = True
+            elif report.wns_ps > 0.04 * clock * 1000.0:
+                # The WLM estimate was badly pessimistic: the achieved
+                # layout is much faster than the requested clock, leaving
+                # the design under no optimization pressure at all.
+                # Re-target near the achieved critical path (keeping the
+                # tightness margin) and re-optimize, as a designer
+                # iterating on the clock would.
+                achieved_ps = clock * 1000.0 - report.wns_ps
+                margin = {"fast": 1.0, "medium": 1.05, "slow": 1.30}[
+                    config.tightness]
+                clock = math.ceil(achieved_ps * margin / 10.0) / 100.0
+                opt = Optimizer(library, interconnect, floorplan, clock)
+                net_model.invalidate()
+                opt.run(module, net_model, fix_drvs=False)
+                route = router.run(module)
+                routed_model = RoutedNetModel(route.lengths_um,
+                                              route.resistances_kohm,
+                                              route.capacitances_ff)
+                retuned = True
+            if retuned:
                 analyzer = TimingAnalyzer(module, library, routed_model,
-                                          clock_ns)
+                                          clock)
                 report = analyzer.run()
-    power = analyze_power(module, library, routed_model, clock_ns,
-                          pi_activity=config.pi_activity,
-                          seq_activity=config.seq_activity)
+                if report.wns_ps < 0.0:
+                    clock = math.ceil(
+                        (clock * 1000.0 - report.wns_ps) / 10.0) / 100.0
+                    analyzer = TimingAnalyzer(module, library,
+                                              routed_model, clock)
+                    report = analyzer.run()
+        return clock, report, route, routed_model
+
+    clock_ns, report, routing, routed_model = supervisor.run_stage(
+        "signoff", _signoff)
+
+    # -- power -------------------------------------------------------------------
+    def _power():
+        return analyze_power(module, library, routed_model, clock_ns,
+                             pi_activity=config.pi_activity,
+                             seq_activity=config.seq_activity)
+
+    power = supervisor.run_stage("power", _power)
 
     return LayoutResult(
         config=config,
@@ -291,5 +375,5 @@ def run_flow(config: FlowConfig) -> LayoutResult:
         routing=routing,
         synthesis_cells=synthesis_cells,
         cts_buffers=cts_buffers,
-        opt_buffers=pre_opt.n_buffers_added + post_opt.n_buffers_added,
+        opt_buffers=layout.pre_opt_buffers + post_opt.n_buffers_added,
     )

@@ -1,0 +1,203 @@
+"""Persistent on-disk checkpointing of flow results.
+
+A bench session regenerates ~20 tables/figures that share the same
+underlying layout runs.  The in-process memo caches in
+:mod:`repro.experiments.runner` make that cheap *within* a session; this
+module makes it cheap *across* sessions: every completed
+``LayoutResult``/``ComparisonResult`` is written to disk keyed by a
+versioned hash of the full flow configuration, so a killed session
+resumes instead of recomputing.
+
+Design points:
+
+* **Canonical keys** — :func:`canonical_key` reduces any configuration
+  (dataclasses, dicts, lists, tuples, sets, scalars) to a canonical JSON
+  string with sorted keys, and :func:`config_key` hashes it (SHA-256)
+  together with :data:`SCHEMA_VERSION`.  This replaces the old
+  ``tuple(sorted(asdict(config).items()))`` keys, which raised
+  ``TypeError`` as soon as a config grew a dict- or list-valued field.
+* **Atomic writes** — entries are written to a temp file in the store
+  directory and ``os.replace``d into place, so a killed session never
+  leaves a half-written entry under a valid name.
+* **Corruption detection** — each entry embeds a SHA-256 checksum of its
+  pickled payload; a mismatch (or any unpickling failure) quarantines
+  the entry to ``<name>.corrupt`` and reports a miss.
+* **Schema versioning** — :data:`SCHEMA_VERSION` participates in the key
+  hash, so changing the result schema silently invalidates every old
+  entry instead of unpickling stale objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.errors import CheckpointError
+
+logger = logging.getLogger(__name__)
+
+# Bump when LayoutResult/ComparisonResult (or anything they embed)
+# changes shape: every existing checkpoint entry becomes invisible.
+SCHEMA_VERSION = 1
+
+_MAGIC = b"repro-ckpt"
+
+# Default store location: $REPRO_CHECKPOINT_DIR, else a per-user cache.
+ENV_VAR = "REPRO_CHECKPOINT_DIR"
+
+
+def default_store_dir() -> Path:
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "checkpoints"
+
+
+def canonical_payload(obj: object) -> object:
+    """Reduce ``obj`` to JSON-serializable form with deterministic order."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: canonical_payload(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): canonical_payload(v)
+                for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(str(canonical_payload(v)) for v in obj)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def canonical_key(obj: object) -> str:
+    """Canonical JSON text for ``obj`` (stable across key ordering)."""
+    return json.dumps(canonical_payload(obj), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def config_key(kind: str, config: object,
+               schema_version: int = SCHEMA_VERSION) -> str:
+    """Versioned content hash naming one checkpoint entry."""
+    text = f"{kind}|v{schema_version}|{canonical_key(config)}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """A directory of atomically-written, checksummed pickle entries."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 schema_version: int = SCHEMA_VERSION):
+        self.root = Path(root) if root is not None else default_store_dir()
+        self.schema_version = schema_version
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.ckpt"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("*.ckpt")):
+            yield path.stem
+
+    # -- IO ----------------------------------------------------------------
+
+    def store(self, key: str, value: object) -> Path:
+        """Atomically persist ``value`` under ``key``."""
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CheckpointError(
+                f"cannot pickle checkpoint value for {key}: {exc}") from exc
+        wrapper = {
+            "magic": _MAGIC,
+            "schema_version": self.schema_version,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                pickle.dump(wrapper, stream,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except Exception as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise CheckpointError(
+                f"cannot write checkpoint {path}: {exc}") from exc
+        return path
+
+    def load(self, key: str) -> Optional[object]:
+        """Load ``key``; ``None`` on miss, stale schema, or corruption.
+
+        Corrupt entries are quarantined to ``<key>.ckpt.corrupt`` so the
+        session recomputes them instead of failing forever.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as stream:
+                wrapper = pickle.load(stream)
+            if not isinstance(wrapper, dict) or wrapper.get("magic") != _MAGIC:
+                raise CheckpointError(f"bad header in {path}")
+            if wrapper.get("schema_version") != self.schema_version:
+                logger.info("checkpoint %s has schema v%s (want v%s); "
+                            "ignoring", path, wrapper.get("schema_version"),
+                            self.schema_version)
+                return None
+            payload = wrapper["payload"]
+            if hashlib.sha256(payload).hexdigest() != wrapper["sha256"]:
+                raise CheckpointError(f"checksum mismatch in {path}")
+            return pickle.loads(payload)
+        except CheckpointError as exc:
+            self._quarantine(path, str(exc))
+            return None
+        except Exception as exc:
+            self._quarantine(path, f"unreadable checkpoint: {exc}")
+            return None
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        logger.warning("quarantining corrupt checkpoint %s: %s", path, reason)
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry (and quarantined entries); returns count."""
+        n = 0
+        for pattern in ("*.ckpt", "*.ckpt.corrupt", "*.tmp"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                    n += 1
+                except OSError:
+                    pass
+        return n
+
+    def stats(self) -> Dict[str, object]:
+        entries = list(self.root.glob("*.ckpt"))
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "schema_version": self.schema_version,
+        }

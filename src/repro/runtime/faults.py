@@ -1,0 +1,161 @@
+"""Deterministic fault injection at flow-stage boundaries.
+
+The stage supervisor consults the active :class:`FaultPlan` every time a
+stage runs: once on entry (``where="before"``) and once after the stage
+body returns (``where="after"``).  A :class:`FaultSpec` names the stage
+it targets, which occurrences fire (skip the first ``skip`` hits, then
+fire ``times`` times), and what happens: raise a named repro exception,
+call a custom exception factory (handy for :class:`CongestionError`
+faults that need the attempt's partial result attached), or just sleep
+``delay_s`` seconds — long enough to trip a stage timeout.
+
+Usage::
+
+    from repro.runtime import faults
+
+    with faults.inject(faults.FaultSpec(stage="layout", error="RoutingError",
+                                        times=2)):
+        run_flow(config)          # first two layout attempts fail
+
+Counting is per-plan and thread-safe (stages may execute on a worker
+thread when a timeout is configured), so a plan is deterministic and
+reusable only within one ``install``/``inject`` scope.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro import errors
+
+# Specs with times=ALWAYS fire on every matching occurrence.
+ALWAYS = -1
+
+
+def _resolve_error(name: str) -> type:
+    """Map an exception-class name to the class in :mod:`repro.errors`."""
+    cls = getattr(errors, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, BaseException)):
+        raise ValueError(f"unknown repro error class: {name!r}")
+    return cls
+
+
+@dataclass
+class FaultSpec:
+    """One deterministic fault: where it fires, how often, and what it does.
+
+    Exactly one behaviour applies per firing, checked in order:
+    ``factory`` (called with the stage result, ``None`` for before-hooks,
+    must return the exception to raise), then ``error`` (an exception
+    class name from :mod:`repro.errors`), else the spec only sleeps
+    ``delay_s`` and lets the stage proceed — a pure slowdown fault for
+    exercising timeouts.
+    """
+
+    stage: str
+    error: Optional[str] = None
+    factory: Optional[Callable[[object], BaseException]] = None
+    times: int = 1
+    skip: int = 0
+    delay_s: float = 0.0
+    where: str = "before"         # "before" or "after" the stage body
+
+    def __post_init__(self) -> None:
+        if self.where not in ("before", "after"):
+            raise ValueError(f"bad fault location: {self.where!r}")
+        if self.error is not None:
+            _resolve_error(self.error)   # fail fast on typos
+
+    def build_exception(self, result: object) -> Optional[BaseException]:
+        if self.factory is not None:
+            return self.factory(result)
+        if self.error is not None:
+            cls = _resolve_error(self.error)
+            return cls(f"injected {self.error} at stage {self.stage!r}")
+        return None
+
+
+class FaultPlan:
+    """An ordered set of fault specs plus per-spec hit counters."""
+
+    def __init__(self, specs: List[FaultSpec]):
+        self.specs = list(specs)
+        self._hits: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
+        self._fired: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
+        self._lock = threading.Lock()
+
+    def fired(self, stage: Optional[str] = None) -> int:
+        """How many faults have fired (optionally for one stage)."""
+        with self._lock:
+            return sum(n for i, n in self._fired.items()
+                       if stage is None or self.specs[i].stage == stage)
+
+    def check(self, stage: str, where: str, result: object = None) -> None:
+        """Fire any matching spec; called by the supervisor."""
+        for i, spec in enumerate(self.specs):
+            if spec.stage != stage or spec.where != where:
+                continue
+            with self._lock:
+                hit = self._hits[i]
+                self._hits[i] = hit + 1
+                occurrence = hit - spec.skip
+                fires = (occurrence >= 0 and
+                         (spec.times == ALWAYS or occurrence < spec.times))
+                if fires:
+                    self._fired[i] += 1
+            if not fires:
+                continue
+            if spec.delay_s > 0.0:
+                time.sleep(spec.delay_s)
+            exc = spec.build_exception(result)
+            if exc is not None:
+                raise exc
+
+
+class _NullPlan(FaultPlan):
+    def __init__(self) -> None:
+        super().__init__([])
+
+    def check(self, stage: str, where: str, result: object = None) -> None:
+        return None
+
+
+_NULL_PLAN = _NullPlan()
+_ACTIVE: FaultPlan = _NULL_PLAN
+
+
+def active_plan() -> FaultPlan:
+    return _ACTIVE
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install a fault plan globally; returns it for convenience."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def reset() -> None:
+    """Remove any installed fault plan."""
+    global _ACTIVE
+    _ACTIVE = _NULL_PLAN
+
+
+@contextmanager
+def inject(*specs: FaultSpec) -> Iterator[FaultPlan]:
+    """Context manager: install a plan of ``specs``, restore on exit."""
+    previous = _ACTIVE
+    plan = install(FaultPlan(list(specs)))
+    try:
+        yield plan
+    finally:
+        install(previous)
+
+
+def check(stage: str, where: str = "before", result: object = None) -> None:
+    """Hook for the supervisor: fire matching faults of the active plan."""
+    _ACTIVE.check(stage, where, result)

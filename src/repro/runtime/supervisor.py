@@ -1,0 +1,312 @@
+"""Supervised execution of design-flow stages.
+
+The :class:`StageSupervisor` wraps each stage of
+:func:`repro.flow.design_flow.run_flow` with
+
+* a per-stage wall-clock **timeout** (the stage body runs on a worker
+  thread only when a timeout is configured, so the common path stays
+  in-line and overhead-free),
+* **bounded retries** with exponential backoff for the exception classes
+  the stage's :class:`StagePolicy` declares retryable — this generalizes
+  the congestion-retry loop that used to live ad hoc in
+  ``design_flow.run_flow``,
+* **graceful degradation**: a retryable exception may carry a
+  ``partial`` result (see :class:`repro.errors.CongestionError`); when
+  retries are exhausted and the policy allows it, the supervisor returns
+  that partial result instead of raising — the paper's "proceed with
+  routing detours" move, and
+* a structured **run journal** recording stage, attempt, wall time,
+  outcome, and exception class for every attempt.
+
+A process-wide supervisor is always active (:func:`current_supervisor`);
+:func:`use_supervisor` swaps one in for a scope.  Every attempt also
+consults :mod:`repro.runtime.faults`, so fault plans work with the
+default supervisor too.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import RetryExhaustedError, StageTimeoutError
+from repro.runtime import faults
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class StagePolicy:
+    """Retry/timeout/degradation policy for one stage."""
+
+    timeout_s: Optional[float] = None
+    max_attempts: int = 1
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    retry_on: Tuple[type, ...] = ()
+    # When retries are exhausted and the final exception carries a
+    # non-None ``partial`` attribute, return it instead of raising.
+    degrade: bool = False
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff to sleep after the given (1-based) failed attempt."""
+        if self.backoff_s <= 0.0:
+            return 0.0
+        return self.backoff_s * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class StageRecord:
+    """One journal line: a single attempt of a single stage."""
+
+    stage: str
+    attempt: int
+    outcome: str                  # ok | retried | degraded | error | timeout
+    wall_time_s: float
+    run: str = ""                 # run label (e.g. "aes-2D"), if any
+    error: Optional[str] = None   # exception class name
+    message: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "run": self.run,
+            "error": self.error,
+            "message": self.message,
+        }
+
+
+class RunJournal:
+    """Structured, append-only record of supervised stage attempts."""
+
+    def __init__(self) -> None:
+        self.records: List[StageRecord] = []
+        self._lock = threading.Lock()
+
+    def record(self, record: StageRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.records.clear()
+
+    def for_stage(self, stage: str) -> List[StageRecord]:
+        return [r for r in self.records if r.stage == stage]
+
+    def outcomes(self, stage: str) -> List[str]:
+        return [r.outcome for r in self.for_stage(stage)]
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate counts plus total supervised wall time."""
+        by_outcome: Dict[str, int] = {}
+        for r in self.records:
+            by_outcome[r.outcome] = by_outcome.get(r.outcome, 0) + 1
+        return {
+            "attempts": len(self.records),
+            "by_outcome": by_outcome,
+            "wall_time_s": round(sum(r.wall_time_s for r in self.records), 6),
+        }
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as stream:
+            for r in self.records:
+                stream.write(json.dumps(r.to_dict()) + "\n")
+
+
+def _run_with_timeout(name: str, fn: Callable[[], object],
+                      timeout_s: Optional[float]) -> object:
+    """Run ``fn`` (optionally on a worker thread with a deadline)."""
+    if timeout_s is None:
+        return fn()
+    box: Dict[str, object] = {}
+
+    def worker() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as exc:       # re-raised on the caller thread
+            box["error"] = exc
+
+    thread = threading.Thread(target=worker, name=f"stage-{name}",
+                              daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        # The worker cannot be killed; it is abandoned as a daemon and
+        # its eventual result discarded.
+        raise StageTimeoutError(name, timeout_s)
+    if "error" in box:
+        raise box["error"]                 # type: ignore[misc]
+    return box.get("result")
+
+
+class StageSupervisor:
+    """Run stage callables under per-stage policies, journaling attempts."""
+
+    def __init__(self,
+                 policies: Optional[Dict[str, StagePolicy]] = None,
+                 default_policy: Optional[StagePolicy] = None,
+                 journal: Optional[RunJournal] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.policies: Dict[str, StagePolicy] = dict(policies or {})
+        self.default_policy = default_policy or StagePolicy()
+        self.journal = journal if journal is not None else RunJournal()
+        self._sleep = sleep
+        self._run_label = ""
+
+    # -- run labelling ---------------------------------------------------
+
+    @contextmanager
+    def run_context(self, label: str) -> Iterator[None]:
+        """Tag journal records made in this scope with a run label."""
+        previous = self._run_label
+        self._run_label = label
+        try:
+            yield
+        finally:
+            self._run_label = previous
+
+    # -- policy resolution -----------------------------------------------
+
+    def policy_for(self, stage: str,
+                   default: Optional[StagePolicy] = None) -> StagePolicy:
+        """Configured policy for ``stage``, else the call-site default.
+
+        A configured global timeout (``default_policy.timeout_s``) applies
+        to call-site defaults that do not set their own timeout.
+        """
+        if stage in self.policies:
+            return self.policies[stage]
+        policy = default or self.default_policy
+        if policy is not self.default_policy and policy.timeout_s is None \
+                and self.default_policy.timeout_s is not None:
+            policy = StagePolicy(
+                timeout_s=self.default_policy.timeout_s,
+                max_attempts=policy.max_attempts,
+                backoff_s=policy.backoff_s,
+                backoff_factor=policy.backoff_factor,
+                retry_on=policy.retry_on,
+                degrade=policy.degrade,
+            )
+        return policy
+
+    # -- execution ---------------------------------------------------------
+
+    def run_stage(self, stage: str, fn: Callable[[], object], *,
+                  policy: Optional[StagePolicy] = None,
+                  on_retry: Optional[Callable[[int, BaseException],
+                                              None]] = None) -> object:
+        """Run one stage under its policy.
+
+        ``fn`` takes no arguments (bind stage inputs with a closure or
+        ``functools.partial``).  ``on_retry(attempt, exc)`` runs between a
+        retryable failure and the next attempt — the design flow uses it
+        to lower the placement utilization between congestion retries.
+        """
+        policy = self.policy_for(stage, policy)
+        attempts = max(1, policy.max_attempts)
+        last_exc: Optional[BaseException] = None
+
+        def body() -> object:
+            faults.check(stage, "before")
+            result = fn()
+            faults.check(stage, "after", result)
+            return result
+
+        for attempt in range(1, attempts + 1):
+            start = time.perf_counter()
+            try:
+                result = _run_with_timeout(stage, body, policy.timeout_s)
+            except StageTimeoutError as exc:
+                wall = time.perf_counter() - start
+                last_exc = exc
+                retryable = StageTimeoutError in policy.retry_on or \
+                    any(issubclass(StageTimeoutError, cls)
+                        for cls in policy.retry_on)
+                self._note(stage, attempt, "timeout", wall, exc)
+                if not retryable or attempt >= attempts:
+                    raise
+                self._between_attempts(policy, attempt, exc, on_retry)
+            except policy.retry_on as exc:    # type: ignore[misc]
+                wall = time.perf_counter() - start
+                last_exc = exc
+                if attempt >= attempts:
+                    partial = getattr(exc, "partial", None)
+                    if policy.degrade and partial is not None:
+                        self._note(stage, attempt, "degraded", wall, exc)
+                        logger.warning(
+                            "stage %s degraded after %d attempt(s): %s",
+                            stage, attempt, exc)
+                        return partial
+                    self._note(stage, attempt, "error", wall, exc)
+                    raise RetryExhaustedError(stage, attempt, exc) from exc
+                self._note(stage, attempt, "retried", wall, exc)
+                self._between_attempts(policy, attempt, exc, on_retry)
+            except Exception as exc:
+                wall = time.perf_counter() - start
+                self._note(stage, attempt, "error", wall, exc)
+                raise
+            else:
+                wall = time.perf_counter() - start
+                self._note(stage, attempt, "ok", wall, None)
+                return result
+        # Unreachable: every loop path returns or raises.
+        raise RetryExhaustedError(stage, attempts, last_exc)
+
+    def _between_attempts(self, policy: StagePolicy, attempt: int,
+                          exc: BaseException,
+                          on_retry: Optional[Callable[[int, BaseException],
+                                                      None]]) -> None:
+        if on_retry is not None:
+            on_retry(attempt, exc)
+        backoff = policy.backoff_for(attempt)
+        if backoff > 0.0:
+            self._sleep(backoff)
+
+    def _note(self, stage: str, attempt: int, outcome: str,
+              wall: float, exc: Optional[BaseException]) -> None:
+        self.journal.record(StageRecord(
+            stage=stage,
+            attempt=attempt,
+            outcome=outcome,
+            wall_time_s=wall,
+            run=self._run_label,
+            error=type(exc).__name__ if exc is not None else None,
+            message=str(exc) if exc is not None else "",
+        ))
+
+
+_DEFAULT = StageSupervisor()
+_CURRENT = _DEFAULT
+
+
+def current_supervisor() -> StageSupervisor:
+    """The supervisor the design flow routes its stages through."""
+    return _CURRENT
+
+
+def install_supervisor(supervisor: Optional[StageSupervisor]
+                       ) -> StageSupervisor:
+    """Install (or with ``None``, reset to the default) globally."""
+    global _CURRENT
+    _CURRENT = supervisor if supervisor is not None else _DEFAULT
+    return _CURRENT
+
+
+@contextmanager
+def use_supervisor(supervisor: StageSupervisor) -> Iterator[StageSupervisor]:
+    """Scope a supervisor: installed on entry, previous restored on exit."""
+    previous = _CURRENT
+    install_supervisor(supervisor)
+    try:
+        yield supervisor
+    finally:
+        install_supervisor(previous)

@@ -1,0 +1,111 @@
+"""Fault-injection harness tests: spec matching, counting, hooks."""
+
+import pytest
+
+from repro.errors import PlacementError, RoutingError, TimingError
+from repro.runtime import faults
+from repro.runtime.faults import ALWAYS, FaultPlan, FaultSpec
+
+
+def test_spec_fires_named_error_for_counted_occurrences():
+    plan = FaultPlan([FaultSpec(stage="layout", error="RoutingError",
+                                times=2)])
+    with pytest.raises(RoutingError):
+        plan.check("layout", "before")
+    with pytest.raises(RoutingError):
+        plan.check("layout", "before")
+    plan.check("layout", "before")      # third occurrence passes
+    assert plan.fired("layout") == 2
+
+
+def test_spec_skip_lets_early_occurrences_pass():
+    plan = FaultPlan([FaultSpec(stage="signoff", error="TimingError",
+                                times=1, skip=2)])
+    plan.check("signoff", "before")
+    plan.check("signoff", "before")
+    with pytest.raises(TimingError):
+        plan.check("signoff", "before")
+    plan.check("signoff", "before")
+
+
+def test_spec_always_fires_forever():
+    plan = FaultPlan([FaultSpec(stage="prepare", error="PlacementError",
+                                times=ALWAYS)])
+    for _ in range(5):
+        with pytest.raises(PlacementError):
+            plan.check("prepare", "before")
+    assert plan.fired() == 5
+
+
+def test_spec_only_matches_its_stage_and_location():
+    plan = FaultPlan([FaultSpec(stage="layout", error="RoutingError",
+                                where="after")])
+    plan.check("layout", "before")      # wrong location: no fire
+    plan.check("signoff", "after")      # wrong stage: no fire
+    with pytest.raises(RoutingError):
+        plan.check("layout", "after")
+
+
+def test_after_factory_receives_stage_result():
+    seen = []
+
+    def factory(result):
+        seen.append(result)
+        return RoutingError(f"derived from {result}")
+
+    plan = FaultPlan([FaultSpec(stage="layout", factory=factory,
+                                where="after")])
+    with pytest.raises(RoutingError, match="derived from 42"):
+        plan.check("layout", "after", result=42)
+    assert seen == [42]
+
+
+def test_delay_only_spec_slows_without_raising():
+    import time
+    plan = FaultPlan([FaultSpec(stage="s", delay_s=0.02)])
+    t0 = time.perf_counter()
+    plan.check("s", "before")
+    assert time.perf_counter() - t0 >= 0.02
+    assert plan.fired() == 1
+
+
+def test_unknown_error_name_rejected_eagerly():
+    with pytest.raises(ValueError):
+        FaultSpec(stage="s", error="NoSuchError")
+    with pytest.raises(ValueError):
+        FaultSpec(stage="s", where="sideways")
+
+
+def test_inject_context_installs_and_restores():
+    outer = faults.active_plan()
+    with faults.inject(FaultSpec(stage="s", error="RoutingError")) as plan:
+        assert faults.active_plan() is plan
+        with pytest.raises(RoutingError):
+            faults.check("s")
+    assert faults.active_plan() is outer
+    faults.check("s")                   # no plan active: no fire
+
+
+def test_install_and_reset():
+    plan = faults.install(FaultPlan([FaultSpec(stage="s",
+                                               error="RoutingError")]))
+    try:
+        assert faults.active_plan() is plan
+    finally:
+        faults.reset()
+    faults.check("s")
+
+
+def test_multiple_specs_count_independently():
+    plan = FaultPlan([
+        FaultSpec(stage="layout", error="RoutingError", times=1),
+        FaultSpec(stage="signoff", error="TimingError", times=1),
+    ])
+    with pytest.raises(RoutingError):
+        plan.check("layout", "before")
+    plan.check("layout", "before")
+    with pytest.raises(TimingError):
+        plan.check("signoff", "before")
+    assert plan.fired("layout") == 1
+    assert plan.fired("signoff") == 1
+    assert plan.fired() == 2
