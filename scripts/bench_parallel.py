@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Benchmark the parallel engine against the status-quo workflow.
+
+Measures the bench group (Tables 4, 13, 16 + Fig. 3 — the experiments
+sharing the five 45 nm comparisons) three ways:
+
+* ``sequential`` — the status quo before the task-graph engine: one CLI
+  invocation **per experiment** (``python -m repro bench <id>``), each a
+  fresh process that recomputes the shared comparisons and re-builds the
+  libraries;
+* ``dedup-j2`` / ``dedup-j4`` — one deduplicated session
+  (``python -m repro -j N bench <ids>``): the shared task graph runs
+  once on a worker pool, then every table assembles from warm caches.
+
+Besides wall-clock and speedup, the report records per-experiment row
+digests for every mode: identical digests across modes are the
+determinism evidence (parallel output is byte-identical to sequential).
+
+Each mode gets a throwaway checkpoint directory (``REPRO_CHECKPOINT_DIR``)
+so no mode inherits another's warm entries.
+
+Usage:  python scripts/bench_parallel.py [output.json]
+        (defaults to BENCH_parallel.json in the repo root; pass
+         ``--experiments ID ...`` and ``--jobs N ...`` to vary the set)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_EXPERIMENTS = ["table4", "table13", "table16", "fig3"]
+
+
+def _run_cli(cli_args, report_path: Path, env: dict) -> float:
+    command = [sys.executable, "-m", "repro"] + cli_args
+    start = time.perf_counter()
+    proc = subprocess.run(command, cwd=REPO, env=env,
+                          stdout=subprocess.DEVNULL)
+    wall = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise SystemExit(f"bench command failed ({proc.returncode}): "
+                         f"{' '.join(command)}")
+    return wall
+
+
+def _mode_env(checkpoint_dir: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CHECKPOINT_DIR"] = checkpoint_dir
+    return env
+
+
+def run_sequential(experiments, scratch: Path) -> dict:
+    """Status quo: one fresh CLI process per experiment, no sharing."""
+    digests, per_experiment = {}, {}
+    total = 0.0
+    for experiment_id in experiments:
+        report_path = scratch / f"seq-{experiment_id}.json"
+        wall = _run_cli(["bench", experiment_id, "--report",
+                         str(report_path)],
+                        report_path, _mode_env(str(scratch / "ckpt-seq")))
+        payload = json.loads(report_path.read_text())
+        digests.update(payload["row_digests"])
+        per_experiment[experiment_id] = round(wall, 2)
+        total += wall
+        print(f"  sequential {experiment_id}: {wall:.1f} s")
+    return {"mode": "sequential", "jobs": 1, "wall_s": round(total, 2),
+            "per_experiment_s": per_experiment, "row_digests": digests}
+
+
+def run_parallel(experiments, jobs: int, scratch: Path) -> dict:
+    """One deduplicated session over the whole group."""
+    report_path = scratch / f"par-j{jobs}.json"
+    wall = _run_cli(["-j", str(jobs), "bench", *experiments,
+                     "--report", str(report_path)],
+                    report_path, _mode_env(str(scratch / f"ckpt-j{jobs}")))
+    payload = json.loads(report_path.read_text())
+    print(f"  dedup -j{jobs}: {wall:.1f} s")
+    return {"mode": f"dedup-j{jobs}", "jobs": jobs,
+            "wall_s": round(wall, 2),
+            "row_digests": payload["row_digests"],
+            "engine": payload.get("engine")}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?",
+                        default=str(REPO / "BENCH_parallel.json"))
+    parser.add_argument("--experiments", nargs="+",
+                        default=DEFAULT_EXPERIMENTS, metavar="ID")
+    parser.add_argument("--jobs", nargs="+", type=int, default=[2, 4],
+                        metavar="N", help="parallel job counts to measure")
+    args = parser.parse_args(argv)
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-parallel-"))
+    try:
+        print(f"benchmarking {args.experiments} "
+              f"(host: {os.cpu_count()} cpu(s))")
+        modes = [run_sequential(args.experiments, scratch)]
+        for jobs in args.jobs:
+            modes.append(run_parallel(args.experiments, jobs, scratch))
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    baseline = modes[0]
+    reference = baseline["row_digests"]
+    for mode in modes:
+        mode["speedup_vs_sequential"] = round(
+            baseline["wall_s"] / mode["wall_s"], 2)
+        mode["rows_identical_to_sequential"] = (
+            mode["row_digests"] == reference)
+
+    payload = {
+        "description": ("Bench-group regeneration: status-quo "
+                        "one-process-per-experiment vs one deduplicated "
+                        "task-graph session (see docs/architecture.md, "
+                        "'Parallel execution')"),
+        "host_cpus": os.cpu_count(),
+        "experiments": args.experiments,
+        "modes": modes,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for mode in modes:
+        print(f"  {mode['mode']:>12}: {mode['wall_s']:8.1f} s   "
+              f"x{mode['speedup_vs_sequential']:.2f}   rows identical: "
+              f"{mode['rows_identical_to_sequential']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

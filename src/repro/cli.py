@@ -4,13 +4,20 @@ Commands
 --------
 compare CIRCUIT        iso-performance 2D vs T-MI comparison (Table 4 row)
 experiment ID          regenerate one paper table/figure (e.g. table4, fig3)
+bench [ID ...]         regenerate several tables/figures as one session,
+                       deduplicating and (with --jobs) parallelizing the
+                       shared flow runs
 cells                  list the characterized library
 export-lib PATH        write the library as a Liberty .lib file
 export-layout CIRCUIT PATH    run the flow, write a JSON layout summary
 export-verilog CIRCUIT PATH   write a benchmark netlist as Verilog
 
-Resilience flags (before the command)
--------------------------------------
+Session flags (before the command)
+----------------------------------
+--jobs/-j N            run the session's deduplicated task graph on N
+                       worker processes before assembling rows (results
+                       are exchanged through the checkpoint store; table
+                       output is byte-identical to a sequential run)
 --resume               persist flow results to the on-disk checkpoint
                        store and reuse any already checkpointed run, so a
                        killed bench session continues where it stopped
@@ -34,36 +41,12 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS
 from repro.flow.reports import format_table
 
-# Experiment id -> driver module name.
-EXPERIMENTS = {
-    "table1": "table01_cell_rc",
-    "table2": "table02_cell_timing_power",
-    "table3": "table03_metal_stack",
-    "table4": "table04_45nm_summary",
-    "table5": "table05_prior_work",
-    "table6": "table06_node_setup",
-    "table7": "table07_7nm_summary",
-    "table8": "table08_pin_cap",
-    "table9": "table09_metal_resistivity",
-    "table10": "table10_itrs",
-    "table11": "table11_7nm_cells",
-    "table12": "table12_synthesis",
-    "table13": "table13_45nm_detail",
-    "table14": "table14_7nm_detail",
-    "table15": "table15_wlm_impact",
-    "table16": "table16_wire_pin_breakdown",
-    "table17": "table17_metal_stack_impact",
-    "fig3": "fig03_routing_snapshots",
-    "fig4": "fig04_clock_sweep",
-    "fig5": "fig05_cell_layouts",
-    "fig6": "fig06_wlm_curves",
-    "fig7": "fig07_blockage_impact",
-    "fig8": "fig08_aes_snapshots",
-    "fig10": "fig10_layer_usage",
-    "fig11": "fig11_switching_activity",
-}
+# Default experiment set for `repro bench`: the group that shares the
+# five 45 nm comparisons (the session with the most dedup to exploit).
+BENCH_DEFAULT = ("table4", "table13", "table16", "fig3")
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -83,21 +66,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _prefetch_for(ids, jobs: int) -> Optional[object]:
+    """Run the deduplicated task graph of ``ids`` on ``jobs`` workers."""
+    from repro.experiments import runner
+    from repro.parallel import build_plan
+
+    graph = build_plan(ids)
+    if not graph.tasks and not graph.deferred:
+        return None
+    report = runner.prefetch(graph, jobs=jobs)
+    summary = report.summary()
+    print(f"[parallel] {summary['tasks']} task(s) on {summary['jobs']} "
+          f"worker(s) in {summary['wall_s']:.1f} s "
+          f"(utilization {summary['utilization']:.0%}, "
+          f"{summary['cached']} from checkpoint)", file=sys.stderr)
+    return report
+
+
+def _run_one_experiment(experiment_id: str) -> list:
+    module = importlib.import_module(
+        f"repro.experiments.{EXPERIMENTS[experiment_id]}")
+    rows = module.run()
+    print(format_table(rows, f"{experiment_id} — measured"))
+    print()
+    print(format_table(module.reference(), f"{experiment_id} — paper"))
+    return rows
+
+
+def _report_session_errors() -> int:
     from repro.experiments import runner
 
-    key = args.id.lower().replace(" ", "")
-    if key not in EXPERIMENTS:
-        known = ", ".join(sorted(EXPERIMENTS))
-        print(f"unknown experiment {args.id!r}; known: {known}",
-              file=sys.stderr)
-        return 2
-    module = importlib.import_module(
-        f"repro.experiments.{EXPERIMENTS[key]}")
-    rows = module.run()
-    print(format_table(rows, f"{args.id} — measured"))
-    print()
-    print(format_table(module.reference(), f"{args.id} — paper"))
     errors = runner.session_errors()
     if errors:
         print(f"\n{len(errors)} row(s) failed (--keep-going):",
@@ -106,6 +104,66 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(f"  {err.summary()}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    key = args.id.lower().replace(" ", "")
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(f"unknown experiment {args.id!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    if args.jobs > 1:
+        _prefetch_for([key], args.jobs)
+    _run_one_experiment(key)
+    return _report_session_errors()
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Regenerate several experiments as one deduplicated session."""
+    import hashlib
+    import json
+    import time
+
+    from repro.experiments import runner
+
+    ids = [i.lower().replace(" ", "") for i in (args.ids or BENCH_DEFAULT)]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(f"unknown experiment id(s) {unknown}; known: {known}",
+              file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    engine_report = _prefetch_for(ids, args.jobs) if args.jobs > 1 else None
+    digests = {}
+    for experiment_id in ids:
+        rows = _run_one_experiment(experiment_id)
+        print()
+        # Canonical digest of the measured rows: the determinism check
+        # across -j levels compares these.
+        digests[experiment_id] = hashlib.sha256(
+            json.dumps(rows, sort_keys=True, default=str).encode()
+        ).hexdigest()
+    wall_s = time.perf_counter() - start
+
+    status = _report_session_errors()
+    if args.report:
+        payload = {
+            "experiments": ids,
+            "jobs": args.jobs,
+            "wall_s": round(wall_s, 3),
+            "row_digests": digests,
+            "errors": [e.summary() for e in runner.session_errors()],
+            "engine": (engine_report.to_dict()
+                       if engine_report is not None else None),
+        }
+        with open(args.report, "w") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote session report to {args.report}", file=sys.stderr)
+    return status
 
 
 def _cmd_cells(args: argparse.Namespace) -> int:
@@ -171,6 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="DAC'13 transistor-level monolithic 3D power study, "
                     "reproduced in Python",
     )
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="run the session's deduplicated task graph "
+                             "on N worker processes before assembling "
+                             "rows (1 = sequential)")
     parser.add_argument("--resume", action="store_true",
                         help="persist/reuse flow results in the on-disk "
                              "checkpoint store")
@@ -202,6 +264,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="regenerate a paper table/figure")
     p.add_argument("id", help="e.g. table4, fig3")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("bench",
+                       help="regenerate several tables/figures as one "
+                            "deduplicated (optionally parallel) session")
+    p.add_argument("ids", nargs="*", metavar="ID",
+                   help="experiment ids (default: "
+                        + " ".join(BENCH_DEFAULT) + ")")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="write a JSON session report (timings, row "
+                        "digests, engine stats) to PATH")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("cells", help="list the characterized library")
     p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
@@ -250,6 +323,7 @@ def _configure_runtime(args: argparse.Namespace):
     # A CLI invocation starts a fresh session: reset any state left by a
     # previous in-process call (tests call main() repeatedly).
     runner.clear_session_errors()
+    runner.clear_task_failures()
     runner.set_keep_going(bool(args.keep_going))
     if args.fresh:
         store = CheckpointStore(args.checkpoint_dir)

@@ -26,12 +26,20 @@ Taxonomy
     └── ``FlowError``              end-to-end flow failures
           ├── ``StageTimeoutError``    a supervised stage exceeded its
           │                            wall-clock budget
-          └── ``RetryExhaustedError``  a supervised stage failed on every
-                                       permitted attempt
+          ├── ``RetryExhaustedError``  a supervised stage failed on every
+          │                            permitted attempt
+          ├── ``TaskFailedError``      a task of a parallel experiment
+          │                            session failed in a worker (carries
+          │                            the worker-side error class/message)
+          └── ``WorkerCrashError``     a parallel worker process died and
+                                       the task exhausted its crash-retry
+                                       budget
 
-The three runtime errors (``StageTimeoutError``, ``RetryExhaustedError``,
-``CheckpointError``) are raised by :mod:`repro.runtime`; everything else
-comes from the flow subsystems themselves.
+The runtime errors (``StageTimeoutError``, ``RetryExhaustedError``,
+``CheckpointError``) are raised by :mod:`repro.runtime`, the parallel
+errors (``TaskFailedError``, ``WorkerCrashError``) by
+:mod:`repro.parallel`; everything else comes from the flow subsystems
+themselves.
 """
 
 from __future__ import annotations
@@ -131,6 +139,38 @@ class RetryExhaustedError(FlowError):
         self.stage = stage
         self.attempts = attempts
         self.last_error = last_error
+
+
+class TaskFailedError(FlowError):
+    """A parallel experiment task failed in a worker process.
+
+    Raised by :mod:`repro.parallel` (and by the cached-execution layer
+    when a driver asks for a result whose prefetch task already failed),
+    carrying the worker-side exception class and message so keep-going
+    sessions can mark the row with the *original* failure.
+    """
+
+    def __init__(self, label: str, error: str, message: str):
+        super().__init__(f"task {label!r} failed in worker: "
+                         f"{error}: {message}")
+        self.label = label
+        self.worker_error = error
+        self.worker_message = message
+
+
+class WorkerCrashError(FlowError):
+    """A parallel worker process died (crash, not a Python exception).
+
+    Raised when a task was pending across more pool rebuilds than the
+    engine's crash-retry budget allows.
+    """
+
+    def __init__(self, label: str, attempts: int):
+        super().__init__(
+            f"task {label!r}: worker process crashed on all "
+            f"{attempts} attempt(s)")
+        self.label = label
+        self.attempts = attempts
 
 
 class SimulationError(CharacterizationError):

@@ -14,4 +14,35 @@ from repro.experiments.runner import (
     DEFAULT_SCALES,
 )
 
-__all__ = ["cached_comparison", "cached_flow", "DEFAULT_SCALES"]
+# Experiment id -> driver module name (the CLI and the parallel planner
+# both resolve ids through this registry).
+EXPERIMENTS = {
+    "table1": "table01_cell_rc",
+    "table2": "table02_cell_timing_power",
+    "table3": "table03_metal_stack",
+    "table4": "table04_45nm_summary",
+    "table5": "table05_prior_work",
+    "table6": "table06_node_setup",
+    "table7": "table07_7nm_summary",
+    "table8": "table08_pin_cap",
+    "table9": "table09_metal_resistivity",
+    "table10": "table10_itrs",
+    "table11": "table11_7nm_cells",
+    "table12": "table12_synthesis",
+    "table13": "table13_45nm_detail",
+    "table14": "table14_7nm_detail",
+    "table15": "table15_wlm_impact",
+    "table16": "table16_wire_pin_breakdown",
+    "table17": "table17_metal_stack_impact",
+    "fig3": "fig03_routing_snapshots",
+    "fig4": "fig04_clock_sweep",
+    "fig5": "fig05_cell_layouts",
+    "fig6": "fig06_wlm_curves",
+    "fig7": "fig07_blockage_impact",
+    "fig8": "fig08_aes_snapshots",
+    "fig10": "fig10_layer_usage",
+    "fig11": "fig11_switching_activity",
+}
+
+__all__ = ["cached_comparison", "cached_flow", "DEFAULT_SCALES",
+           "EXPERIMENTS"]

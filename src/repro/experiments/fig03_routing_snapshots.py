@@ -41,6 +41,13 @@ def run(circuits=CIRCUITS) -> List[Dict[str, object]]:
     return resilient_rows(circuits, one)
 
 
+def declare_tasks(circuits=CIRCUITS):
+    """The comparisons ``run`` needs, for the parallel planner."""
+    from repro.parallel import comparison_task
+
+    return [comparison_task(c) for c in circuits]
+
+
 def reference() -> List[Dict[str, object]]:
     return [
         {"circuit": c.upper(),

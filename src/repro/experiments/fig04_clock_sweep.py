@@ -57,6 +57,46 @@ def run(circuits=CIRCUITS, scale: Optional[float] = None
     return rows
 
 
+def _corner_tasks(circuit: str, scale: Optional[float], values):
+    """Derive the off-medium corner tasks from the base comparison.
+
+    Must mirror ``run`` exactly (same clock rounding, same kwargs) so the
+    derived task keys match the driver's later cache lookups.
+    """
+    from repro.parallel import comparison_task
+
+    base = values[0]
+    base_clock = base.clock_ns
+    base_util = base.result_2d.utilization_target
+    tasks = []
+    for _corner, mult in SWEEP:
+        if mult == 1.0:
+            continue
+        clock = math.ceil(base_clock * mult * 100.0) / 100.0
+        tasks.append(comparison_task(circuit, scale=scale,
+                                     target_clock_ns=clock,
+                                     target_utilization=base_util))
+    return tasks
+
+
+def declare_tasks(circuits=CIRCUITS, scale: Optional[float] = None):
+    """Base comparisons now; the sweep corners once each base's clock is
+    known (the grid depends on the auto-closed medium clock)."""
+    from functools import partial
+
+    from repro.parallel import DeferredTasks, comparison_task
+
+    items = []
+    for circuit in circuits:
+        base = comparison_task(circuit, scale=scale)
+        items.append(base)
+        items.append(DeferredTasks(
+            requires=(base,),
+            derive=partial(_corner_tasks, circuit, scale),
+            label=f"fig4-sweep:{circuit}"))
+    return items
+
+
 def reference() -> List[Dict[str, object]]:
     rows = []
     for circuit, corners in PAPER.items():

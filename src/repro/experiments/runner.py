@@ -18,18 +18,32 @@ The module also carries the session's **graceful-degradation policy**
 route their per-row work through :func:`resilient_rows`, which under
 keep-going converts a failed row into an error-marked row plus a session
 error record instead of aborting the whole bench session.
+
+For multi-experiment sessions there is a **parallel warm phase**
+(:func:`prefetch`, the CLI's ``--jobs``): the deduplicated task graph of
+everything the requested experiments declared runs on a process pool
+(:mod:`repro.parallel`), results land in these caches through the shared
+checkpoint store, and the drivers then assemble their rows sequentially
+from warm caches — byte-identical to a sequential session.  A task that
+failed in a worker is remembered (:func:`task_failures`); asking for its
+result raises :class:`repro.errors.TaskFailedError` carrying the
+worker-side error, which :func:`resilient_rows` degrades into the same
+error-marked row a sequential failure would produce.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
-from repro.errors import ReproError
+from repro.errors import ReproError, TaskFailedError
 from repro.flow.compare import ComparisonResult, run_iso_performance_comparison
 from repro.flow.design_flow import FlowConfig, LayoutResult, run_flow
 from repro.runtime.checkpoint import CheckpointStore, config_key
+
+logger = logging.getLogger(__name__)
 
 # Default benchmark scales for experiment runs: the largest sizes that keep
 # a full bench session in minutes.  Recorded in EXPERIMENTS.md.
@@ -101,7 +115,85 @@ def _cache_lookup(cache: Dict[str, object], key: str) -> Optional[object]:
 def _cache_insert(cache: Dict[str, object], key: str, value: object) -> None:
     cache[key] = value
     if _STORE is not None:
-        _STORE.store(key, value)
+        # Best-effort: a disk-write failure must not discard a fully
+        # computed result — the in-process entry above stays usable.
+        _STORE.try_store(key, value)
+
+
+# -- parallel warm phase ---------------------------------------------------
+
+# key -> (label, worker error class name, message) for tasks that failed
+# in a parallel warm phase under keep-going.  Consulted by the cached
+# call sites so a driver's request for that result raises immediately
+# (with the original error) instead of recomputing a known failure.
+_FAILED_TASKS: Dict[str, tuple] = {}
+
+
+def record_task_failure(key: str, label: str, error: str,
+                        message: str) -> None:
+    """Remember a parallel task failure for this session."""
+    _FAILED_TASKS[key] = (label, error, message)
+
+
+def task_failures() -> Dict[str, tuple]:
+    return dict(_FAILED_TASKS)
+
+
+def clear_task_failures() -> None:
+    _FAILED_TASKS.clear()
+
+
+def _check_failed(key: str) -> None:
+    failure = _FAILED_TASKS.get(key)
+    if failure is not None:
+        raise TaskFailedError(*failure)
+
+
+def prefetch(tasks: object, jobs: Optional[int] = None,
+             **engine_options) -> "object":
+    """Warm the caches by running a task graph on the process pool.
+
+    ``tasks`` is a :class:`repro.parallel.TaskGraph` or any iterable of
+    task specs / deferrals (see :mod:`repro.parallel.plan`).  Results are
+    exchanged through the persistent checkpoint store when one is active
+    (``--resume``), else through an ephemeral session store that is
+    removed afterwards.  Under keep-going, worker failures are recorded
+    via :func:`record_task_failure`; otherwise the engine raises on the
+    first failure, like a sequential session.  Returns the engine's
+    :class:`repro.parallel.EngineReport`.
+    """
+    import shutil
+    import tempfile
+
+    from repro.parallel import KIND_COMPARISON, ParallelEngine, TaskGraph
+
+    graph = tasks if isinstance(tasks, TaskGraph) else TaskGraph(tasks)
+    ephemeral_root: Optional[str] = None
+    store = _STORE
+    if store is None:
+        ephemeral_root = tempfile.mkdtemp(prefix="repro-parallel-")
+        store = CheckpointStore(Path(ephemeral_root))
+    try:
+        engine = ParallelEngine(store=store, jobs=jobs,
+                                keep_going=_SESSION.keep_going,
+                                **engine_options)
+        report = engine.execute(graph)
+        for record in report.records:
+            if record.status != "ok":
+                record_task_failure(record.key, record.label,
+                                    record.error or "ReproError",
+                                    record.message)
+                continue
+            value = engine.value_for(record.key)
+            if value is None:
+                continue
+            cache = (_COMPARISON_CACHE if record.kind == KIND_COMPARISON
+                     else _FLOW_CACHE)
+            cache[record.key] = value
+        return report
+    finally:
+        if ephemeral_root is not None:
+            shutil.rmtree(ephemeral_root, ignore_errors=True)
 
 
 # -- cached execution -----------------------------------------------------
@@ -114,6 +206,7 @@ def cached_comparison(circuit: str, node_name: str = "45nm",
     key = comparison_key(circuit, node_name, scale, kwargs)
     value = _cache_lookup(_COMPARISON_CACHE, key)
     if value is None:
+        _check_failed(key)
         value = run_iso_performance_comparison(
             circuit, node_name=node_name, scale=scale, **kwargs)
         _cache_insert(_COMPARISON_CACHE, key, value)
@@ -125,6 +218,7 @@ def cached_flow(config: FlowConfig) -> LayoutResult:
     key = flow_key(config)
     value = _cache_lookup(_FLOW_CACHE, key)
     if value is None:
+        _check_failed(key)
         value = run_flow(config)
         _cache_insert(_FLOW_CACHE, key, value)
     return value
@@ -134,6 +228,7 @@ def clear_caches(disk: bool = False) -> None:
     """Drop the in-process memos (and, with ``disk=True``, the store)."""
     _COMPARISON_CACHE.clear()
     _FLOW_CACHE.clear()
+    _FAILED_TASKS.clear()
     if disk and _STORE is not None:
         _STORE.clear()
 
@@ -178,9 +273,17 @@ def clear_session_errors() -> None:
     _SESSION.errors.clear()
 
 
+def _describe_error(exc: ReproError) -> tuple:
+    """(class name, message) — unwrapping worker-side task failures so a
+    row failed in a parallel warm phase reads like the sequential one."""
+    if isinstance(exc, TaskFailedError):
+        return exc.worker_error, exc.worker_message
+    return type(exc).__name__, str(exc)
+
+
 def _error_row(label: str, exc: ReproError) -> Dict[str, object]:
-    return {"circuit": str(label).upper(),
-            "error": f"{type(exc).__name__}: {exc}"}
+    error, message = _describe_error(exc)
+    return {"circuit": str(label).upper(), "error": f"{error}: {message}"}
 
 
 def resilient_rows(items: Iterable[object],
@@ -196,6 +299,12 @@ def resilient_rows(items: Iterable[object],
     keep-going a :class:`ReproError` propagates (aborting the
     experiment, as before); with it, the failure becomes an error-marked
     row and a session error record, and the remaining items still run.
+
+    Parallel-aware: a row whose underlying task already failed in a
+    ``--jobs`` warm phase raises :class:`TaskFailedError` out of the
+    cached call site (no recompute); its error row and session record
+    carry the *worker-side* exception, so a pool failure and a
+    sequential failure produce the same degraded output.
     """
     rows: List[Dict[str, object]] = []
     for item in items:
@@ -205,8 +314,9 @@ def resilient_rows(items: Iterable[object],
             if not _SESSION.keep_going:
                 raise
             name = label(item)
+            error, message = _describe_error(exc)
             _SESSION.errors.append(RowError(
-                label=name, error=type(exc).__name__, message=str(exc)))
+                label=name, error=error, message=message))
             rows.append(error_row(name, exc))
         else:
             rows.extend(out if isinstance(out, list) else [out])

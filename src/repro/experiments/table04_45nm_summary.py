@@ -28,6 +28,15 @@ def run(circuits=CIRCUITS, node_name: str = "45nm",
     return resilient_rows(circuits, one)
 
 
+def declare_tasks(circuits=CIRCUITS, node_name: str = "45nm",
+                  scale: Optional[float] = None):
+    """The comparisons ``run`` needs, for the parallel planner."""
+    from repro.parallel import comparison_task
+
+    return [comparison_task(c, node_name=node_name, scale=scale)
+            for c in circuits]
+
+
 def reference() -> List[Dict[str, object]]:
     return [
         {"circuit": c.upper(),

@@ -27,6 +27,14 @@ def run(circuits=CIRCUITS,
     return resilient_rows(circuits, one)
 
 
+def declare_tasks(circuits=CIRCUITS, scale: Optional[float] = None):
+    """The comparisons ``run`` needs, for the parallel planner."""
+    from repro.parallel import comparison_task
+
+    return [comparison_task(c, node_name="7nm", scale=scale)
+            for c in circuits]
+
+
 def reference() -> List[Dict[str, object]]:
     return [
         {"circuit": c.upper(),

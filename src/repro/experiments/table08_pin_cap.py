@@ -50,6 +50,33 @@ def run(circuit: str = "des",
     return rows
 
 
+def _sweep_tasks(circuit: str, scale, values):
+    """Derive the pin-cap grid from the base run (mirrors ``run``)."""
+    from repro.parallel import comparison_task
+
+    base = values[0]
+    base_clock = base.clock_ns
+    base_util = base.result_2d.utilization_target
+    return [comparison_task(circuit, node_name="7nm", scale=scale,
+                            pin_cap_scale=pin_scale,
+                            target_clock_ns=base_clock,
+                            target_utilization=base_util)
+            for pin_scale, _suffix in SCALES if pin_scale != 1.0]
+
+
+def declare_tasks(circuit: str = "des", scale: Optional[float] = None):
+    """Base comparison now; the pin-cap grid once its clock is known."""
+    from functools import partial
+
+    from repro.parallel import DeferredTasks, comparison_task
+
+    base = comparison_task(circuit, node_name="7nm", scale=scale)
+    return [base,
+            DeferredTasks(requires=(base,),
+                          derive=partial(_sweep_tasks, circuit, scale),
+                          label=f"table8-sweep:{circuit}")]
+
+
 def reference() -> List[Dict[str, object]]:
     return [
         {"design": f"DES{suffix}", "WL 2D (mm)": v[0],

@@ -45,6 +45,31 @@ def run(circuit: str = "m256",
     return rows
 
 
+def _material_tasks(circuit: str, scale, values):
+    """Derive the low-resistivity variant from the base run."""
+    from repro.parallel import comparison_task
+
+    base = values[0]
+    return [comparison_task(
+        circuit, node_name="7nm", scale=scale,
+        local_resistivity_scale=0.5,
+        target_clock_ns=base.clock_ns,
+        target_utilization=base.result_2d.utilization_target)]
+
+
+def declare_tasks(circuit: str = "m256", scale: Optional[float] = None):
+    """Base comparison now; the "-m" material variant once it closes."""
+    from functools import partial
+
+    from repro.parallel import DeferredTasks, comparison_task
+
+    base = comparison_task(circuit, node_name="7nm", scale=scale)
+    return [base,
+            DeferredTasks(requires=(base,),
+                          derive=partial(_material_tasks, circuit, scale),
+                          label=f"table9-material:{circuit}")]
+
+
 def reference() -> List[Dict[str, object]]:
     return [
         {"design": f"M256{suffix}",

@@ -38,6 +38,13 @@ def run(circuits=CIRCUITS,
     return resilient_rows(circuits, one)
 
 
+def declare_tasks(circuits=CIRCUITS, scale: Optional[float] = None):
+    """The comparisons ``run`` needs, for the parallel planner."""
+    from repro.parallel import comparison_task
+
+    return [comparison_task(c, scale=scale) for c in circuits]
+
+
 def reference() -> List[Dict[str, object]]:
     return [
         {"design": d, "wire cap (pF)": v[0], "pin cap (pF)": v[1],

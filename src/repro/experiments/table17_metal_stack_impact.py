@@ -50,6 +50,28 @@ def run(circuits=CIRCUITS,
     return resilient_rows(circuits, one)
 
 
+def _modified_stack_tasks(values):
+    """Derive the T-MI+M re-run of the base T-MI layout's config."""
+    from repro.parallel import flow_task
+
+    base = values[0].result_3d
+    return [flow_task(replace(base.config, metal_stack="tmi+m"))]
+
+
+def declare_tasks(circuits=CIRCUITS, scale: Optional[float] = None):
+    """Base 7 nm comparisons now; each +M flow once its base closes."""
+    from repro.parallel import DeferredTasks, comparison_task
+
+    items = []
+    for circuit in circuits:
+        base = comparison_task(circuit, node_name="7nm", scale=scale)
+        items.append(base)
+        items.append(DeferredTasks(requires=(base,),
+                                   derive=_modified_stack_tasks,
+                                   label=f"table17-stack:{circuit}"))
+    return items
+
+
 def reference() -> List[Dict[str, object]]:
     return [
         {"design": f"{c.upper()}-3D vs +M", "WL delta (%)": v[0],

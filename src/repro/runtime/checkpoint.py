@@ -25,6 +25,15 @@ Design points:
 * **Schema versioning** — :data:`SCHEMA_VERSION` participates in the key
   hash, so changing the result schema silently invalidates every old
   entry instead of unpickling stale objects.
+* **Cross-process safety** — one store directory may be shared by any
+  number of concurrent readers and writers (the parallel engine's
+  workers exchange results through it).  Writes are create-rename
+  (unique temp names from :func:`tempfile.mkstemp`, then ``os.replace``),
+  so two writers of the same key race benignly: one complete entry wins.
+  Readers only ever see absent or complete entries; maintenance calls
+  (:meth:`CheckpointStore.stats`, :meth:`CheckpointStore.clear`,
+  quarantine) tolerate entries unlinked between directory listing and
+  file access.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ import logging
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Iterator, Optional
 
@@ -51,6 +61,10 @@ _MAGIC = b"repro-ckpt"
 
 # Default store location: $REPRO_CHECKPOINT_DIR, else a per-user cache.
 ENV_VAR = "REPRO_CHECKPOINT_DIR"
+
+# clear() sweeps .tmp files older than this as leftovers of killed
+# sessions; younger ones belong to live concurrent writers.
+STALE_TMP_S = 3600.0
 
 
 def default_store_dir() -> Path:
@@ -127,20 +141,44 @@ class CheckpointStore:
             "payload": payload,
         }
         path = self.path_for(key)
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as stream:
-                pickle.dump(wrapper, stream,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except Exception as exc:
+        # A concurrent clear() may sweep our in-flight temp file between
+        # mkstemp and replace (it only skips *young* temps, but clock skew
+        # happens); losing that race costs a retry, not the result.
+        for attempt in (1, 2):
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise CheckpointError(
-                f"cannot write checkpoint {path}: {exc}") from exc
-        return path
+                with os.fdopen(fd, "wb") as stream:
+                    pickle.dump(wrapper, stream,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except FileNotFoundError as exc:
+                if attempt == 1:
+                    continue
+                raise CheckpointError(
+                    f"cannot write checkpoint {path}: {exc}") from exc
+            except Exception as exc:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise CheckpointError(
+                    f"cannot write checkpoint {path}: {exc}") from exc
+            return path
+
+    def try_store(self, key: str, value: object) -> Optional[Path]:
+        """Best-effort :meth:`store`: ``None`` instead of raising.
+
+        Concurrent sessions treat the store as a shared cache, not a
+        ledger — a disk-write failure must never discard an
+        already-computed result, so callers that hold the value in
+        memory use this and carry on.
+        """
+        try:
+            return self.store(key, value)
+        except CheckpointError as exc:
+            logger.warning("keeping result for %s in memory only: %s",
+                           key, exc)
+            return None
 
     def load(self, key: str) -> Optional[object]:
         """Load ``key``; ``None`` on miss, stale schema, or corruption.
@@ -182,22 +220,46 @@ class CheckpointStore:
     # -- maintenance --------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry (and quarantined entries); returns count."""
+        """Delete every entry (and quarantined entries); returns count.
+
+        In-flight ``.tmp`` files of *live* concurrent writers are left
+        alone (only temps older than :data:`STALE_TMP_S` are swept as
+        leftovers of killed sessions), so clearing a shared store never
+        makes another process's write fail.
+        """
         n = 0
-        for pattern in ("*.ckpt", "*.ckpt.corrupt", "*.tmp"):
+        for pattern in ("*.ckpt", "*.ckpt.corrupt"):
             for path in self.root.glob(pattern):
                 try:
                     path.unlink()
                     n += 1
                 except OSError:
                     pass
+        now = time.time()
+        for path in self.root.glob("*.tmp"):
+            try:
+                if now - path.stat().st_mtime < STALE_TMP_S:
+                    continue
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
         return n
 
     def stats(self) -> Dict[str, object]:
-        entries = list(self.root.glob("*.ckpt"))
+        n = 0
+        total = 0
+        for path in self.root.glob("*.ckpt"):
+            try:
+                total += path.stat().st_size
+            except FileNotFoundError:
+                # Another process unlinked (clear/quarantine) the entry
+                # between glob and stat; skip it rather than crash.
+                continue
+            n += 1
         return {
             "root": str(self.root),
-            "entries": len(entries),
-            "bytes": sum(p.stat().st_size for p in entries),
+            "entries": n,
+            "bytes": total,
             "schema_version": self.schema_version,
         }

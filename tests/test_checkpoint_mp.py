@@ -1,0 +1,108 @@
+"""Multi-process checkpoint-store stress: one directory, many writers.
+
+The parallel engine's workers all exchange results through a single
+store directory, and a concurrent ``--fresh`` clear can race them.  The
+store's contract: concurrent store/load/clear/stats never corrupt an
+entry, never quarantine a healthy one, and readers only ever see absent
+or complete values.
+"""
+
+import multiprocessing
+import queue
+
+from repro.runtime.checkpoint import CheckpointStore
+
+N_WRITERS = 4
+N_ITERS = 25
+KEYS = [f"shared{i:02d}" for i in range(6)]
+
+
+def _payload(worker: int, i: int) -> dict:
+    return {"worker": worker, "i": i, "blob": list(range(256))}
+
+
+def _valid(value: object) -> bool:
+    return (isinstance(value, dict)
+            and value.get("blob") == list(range(256)))
+
+
+def _hammer(root: str, worker: int, problems) -> None:
+    store = CheckpointStore(root)
+    for i in range(N_ITERS):
+        key = KEYS[(worker + i) % len(KEYS)]
+        store.store(key, _payload(worker, i))
+        loaded = store.load(key)
+        # Another writer may have won the rename race, or the clearer may
+        # have removed the entry — but a non-miss must be a complete
+        # value, never a torn or foreign one.
+        if loaded is not None and not _valid(loaded):
+            problems.put((worker, i, repr(loaded)[:120]))
+
+
+def _churn(root: str, problems) -> None:
+    store = CheckpointStore(root)
+    for i in range(N_ITERS):
+        stats = store.stats()
+        if stats["entries"] < 0 or stats["bytes"] < 0:
+            problems.put(("churn", i, repr(stats)))
+        if i % 5 == 4:
+            store.clear()
+
+
+def test_concurrent_writers_never_corrupt_entries(tmp_path):
+    ctx = multiprocessing.get_context()
+    problems = ctx.Queue()
+    workers = [ctx.Process(target=_hammer,
+                           args=(str(tmp_path), w, problems))
+               for w in range(N_WRITERS)]
+    workers.append(ctx.Process(target=_churn, args=(str(tmp_path),
+                                                    problems)))
+    for proc in workers:
+        proc.start()
+    for proc in workers:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+
+    found = []
+    while True:
+        try:
+            found.append(problems.get_nowait())
+        except queue.Empty:
+            break
+    assert not found
+
+    # No healthy entry was ever mistaken for a corrupt one.
+    assert not list(tmp_path.glob("*.corrupt"))
+    # Survivors are still fully readable.
+    store = CheckpointStore(tmp_path)
+    for key in KEYS:
+        value = store.load(key)
+        assert value is None or _valid(value)
+
+
+def test_same_key_from_many_processes_yields_one_winner(tmp_path):
+    ctx = multiprocessing.get_context()
+    problems = ctx.Queue()
+    workers = [ctx.Process(target=_one_key_hammer,
+                           args=(str(tmp_path), w, problems))
+               for w in range(N_WRITERS)]
+    for proc in workers:
+        proc.start()
+    for proc in workers:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+    assert problems.empty()
+
+    value = CheckpointStore(tmp_path).load("the-key")
+    assert _valid(value)
+    assert CheckpointStore(tmp_path).stats()["entries"] == 1
+
+
+def _one_key_hammer(root: str, worker: int, problems) -> None:
+    store = CheckpointStore(root)
+    for i in range(N_ITERS):
+        store.store("the-key", _payload(worker, i))
+        loaded = store.load("the-key")
+        # Nothing clears here, so a miss is itself a violation.
+        if not _valid(loaded):
+            problems.put((worker, i, repr(loaded)[:120]))

@@ -1,0 +1,143 @@
+"""Parallel-engine tests: determinism, crashes, keep-going degradation.
+
+These run real (tiny-scale) flows through worker processes, so they are
+the slowest unit tests in the suite — each one sticks to a single small
+circuit.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import TaskFailedError, WorkerCrashError
+from repro.experiments import runner
+from repro.experiments import table04_45nm_summary as table4
+from repro.parallel import (
+    DeferredTasks,
+    ParallelEngine,
+    TaskGraph,
+    comparison_task,
+)
+from repro.runtime import faults
+from repro.runtime.checkpoint import CheckpointStore
+
+SCALE = 0.04
+
+
+@pytest.fixture(autouse=True)
+def _fresh_session():
+    runner.clear_caches()
+    runner.set_keep_going(False)
+    runner.clear_session_errors()
+    yield
+    runner.clear_caches()
+    runner.set_keep_going(False)
+    runner.clear_session_errors()
+
+
+def _crash_worker(result):
+    # FaultSpec factory that kills the worker process outright — the
+    # parent only ever sees a broken pool, like an OOM kill or segfault.
+    os._exit(137)
+
+
+def test_rows_identical_sequential_vs_parallel_prefetch():
+    rows_seq = table4.run(circuits=("fpu",), scale=SCALE)
+    runner.clear_caches()
+
+    graph = TaskGraph(table4.declare_tasks(circuits=("fpu",), scale=SCALE))
+    report = runner.prefetch(graph, jobs=2)
+    rows_par = table4.run(circuits=("fpu",), scale=SCALE)
+
+    assert report.n_ok == len(report.records) == 1
+    assert (json.dumps(rows_seq, sort_keys=True, default=str)
+            == json.dumps(rows_par, sort_keys=True, default=str))
+
+
+def test_inline_engine_reuses_store_and_serves_results(tmp_path):
+    store = CheckpointStore(tmp_path)
+    spec = comparison_task("fpu", scale=SCALE)
+    engine = ParallelEngine(store=store, jobs=1)
+
+    first = engine.execute(TaskGraph([spec]))
+    assert [r.status for r in first.records] == ["ok"]
+    assert not first.records[0].cached and first.records[0].stored
+    assert engine.result(spec).result_2d.power.total_mw > 0.0
+
+    # A second session over the same store hits the checkpoint entry.
+    again = ParallelEngine(store=store, jobs=1).execute(TaskGraph([spec]))
+    assert again.records[0].cached
+    assert again.n_cached == 1
+
+
+def test_deferred_tasks_resolve_with_base_values(tmp_path):
+    base = comparison_task("fpu", scale=SCALE)
+    seen = {}
+
+    def derive(values):
+        seen["clock"] = values[0].clock_ns
+        return []
+
+    graph = TaskGraph([base, DeferredTasks(requires=(base,), derive=derive,
+                                           label="noop-sweep")])
+    ParallelEngine(store=CheckpointStore(tmp_path), jobs=1).execute(graph)
+    assert seen["clock"] > 0.0
+
+
+def test_worker_crash_exhausts_retry_budget(tmp_path):
+    crash = faults.FaultSpec(stage="synthesis", factory=_crash_worker,
+                             times=faults.ALWAYS)
+    engine = ParallelEngine(store=CheckpointStore(tmp_path), jobs=2,
+                            max_crash_retries=1, worker_faults=(crash,))
+    with pytest.raises(WorkerCrashError) as excinfo:
+        engine.execute(TaskGraph([comparison_task("fpu", scale=SCALE)]))
+    # max_crash_retries=1 allows the initial attempt plus one retry.
+    assert excinfo.value.attempts == 2
+
+
+def test_worker_crash_keep_going_records_and_continues(tmp_path):
+    crash = faults.FaultSpec(stage="synthesis", factory=_crash_worker,
+                             times=faults.ALWAYS)
+    engine = ParallelEngine(store=CheckpointStore(tmp_path), jobs=2,
+                            max_crash_retries=1, keep_going=True,
+                            worker_faults=(crash,))
+    report = engine.execute(
+        TaskGraph([comparison_task("fpu", scale=SCALE)]))
+    assert [r.status for r in report.records] == ["crashed"]
+    assert report.records[0].attempts == 2
+    assert report.crash_rebuilds == 2
+
+
+def test_worker_failure_raises_without_keep_going(tmp_path):
+    fail = faults.FaultSpec(stage="layout", error="RoutingError",
+                            times=faults.ALWAYS)
+    engine = ParallelEngine(store=CheckpointStore(tmp_path), jobs=2,
+                            worker_faults=(fail,))
+    with pytest.raises(TaskFailedError):
+        engine.execute(TaskGraph([comparison_task("fpu", scale=SCALE)]))
+
+
+def test_keep_going_prefetch_degrades_to_error_rows():
+    # Fault only tasks whose label mentions aes: fpu must still produce a
+    # real row while the aes failure becomes an error-marked row carrying
+    # the worker-side exception.
+    fail = faults.FaultSpec(stage="layout", error="RoutingError",
+                            times=faults.ALWAYS)
+    runner.set_keep_going(True)
+    graph = TaskGraph(table4.declare_tasks(circuits=("fpu", "aes"),
+                                           scale=SCALE))
+    report = runner.prefetch(graph, jobs=2, worker_faults=(fail,),
+                             fault_label_filter="aes")
+
+    statuses = {r.label.split(":")[1].split("@")[0]: r.status
+                for r in report.records}
+    assert statuses["fpu"] == "ok" and statuses["aes"] == "failed"
+    assert runner.task_failures()
+
+    rows = table4.run(circuits=("fpu", "aes"), scale=SCALE)
+    assert len(rows) == 2
+    assert "error" not in rows[0]
+    assert "error" in rows[1] and "RoutingError" in rows[1]["error"]
+    errors = runner.session_errors()
+    assert len(errors) == 1 and "aes" in errors[0].label

@@ -48,3 +48,21 @@ def test_kwargs_distinguish_cache_entries():
     assert a is not b
     assert b.result_2d.power.total_mw > a.result_2d.power.total_mw
     clear_caches()
+
+
+def test_cache_insert_survives_checkpoint_write_failure(tmp_path):
+    # With --resume active, a value the store cannot persist (here:
+    # unpicklable) must still land in the in-process memo — a disk
+    # problem never discards a computed result.
+    from repro.experiments import runner
+
+    clear_caches()
+    runner.use_persistent_cache(tmp_path)
+    try:
+        unpicklable = lambda: None       # noqa: E731
+        runner._cache_insert(runner._FLOW_CACHE, "some-key", unpicklable)
+        assert runner._FLOW_CACHE["some-key"] is unpicklable
+        assert runner.persistent_store().stats()["entries"] == 0
+    finally:
+        runner.disable_persistent_cache()
+        clear_caches()

@@ -155,3 +155,47 @@ def test_stats(tmp_path):
     assert stats["entries"] == 1
     assert stats["bytes"] > 0
     assert stats["schema_version"] == SCHEMA_VERSION
+
+
+def test_stats_tolerates_entry_unlinked_mid_scan(tmp_path, monkeypatch):
+    # A concurrent clear()/quarantine can unlink an entry between stats()'s
+    # directory listing and its stat() call; the scan skips it.
+    from pathlib import Path
+
+    store = CheckpointStore(tmp_path)
+    store.store(config_key("a", 1), "v")
+    ghost = tmp_path / ("f" * 64 + ".ckpt")
+    real_glob = Path.glob
+
+    def racing_glob(self, pattern):
+        paths = list(real_glob(self, pattern))
+        if self == store.root and pattern == "*.ckpt":
+            paths.append(ghost)          # listed, then unlinked by a peer
+        return iter(paths)
+
+    monkeypatch.setattr(Path, "glob", racing_glob)
+    stats = store.stats()
+    assert stats["entries"] == 1
+    assert stats["bytes"] > 0
+
+
+def test_clear_spares_live_writers_tmp_files(tmp_path):
+    # A fresh .tmp belongs to an in-flight concurrent store(); only stale
+    # temps (killed sessions) are swept.
+    import os
+    import time as _time
+
+    from repro.runtime.checkpoint import STALE_TMP_S
+
+    store = CheckpointStore(tmp_path)
+    store.store(config_key("a", 1), "v")
+    live = tmp_path / "live-writer.tmp"
+    live.write_bytes(b"half-written")
+    stale = tmp_path / "killed-session.tmp"
+    stale.write_bytes(b"leftover")
+    old = _time.time() - STALE_TMP_S - 60.0
+    os.utime(stale, (old, old))
+
+    assert store.clear() == 2            # the entry + the stale temp
+    assert live.exists()
+    assert not stale.exists()
