@@ -1,0 +1,53 @@
+"""Cross-stage invariant auditing (the flow's correctness net).
+
+The paper's 2D vs T-MI rows are only meaningful when the underlying
+flow state is coherent: legal placements, connected routing, closing
+slack arithmetic, power components that sum, and a T-MI netlist that is
+the *same logic* as its 2D twin.  :mod:`repro.check` machine-checks
+those preconditions:
+
+* :mod:`~repro.check.findings` — :class:`AuditFinding` /
+  :class:`AuditReport`, the structured result every check emits,
+* :mod:`~repro.check.placement` — placement legality,
+* :mod:`~repro.check.routing` — opens, shorts, track capacity,
+* :mod:`~repro.check.timing` — STA graph + slack arithmetic + iso-perf,
+* :mod:`~repro.check.power` — power-accounting reconciliation,
+* :mod:`~repro.check.conservation` — 2D<->T-MI invariants + folded MIVs,
+* :mod:`~repro.check.audit` — orchestration, artifact capture and
+  defect injection (``repro audit``),
+* :mod:`~repro.check.goldens` — the tolerance-annotated golden
+  regression corpus over the paper tables (``repro goldens``).
+
+``run_flow`` runs the per-run checks as a supervised ``audit`` stage and
+journals every finding; ``repro audit`` re-runs them standalone.
+"""
+
+from repro.check.audit import (
+    FlowArtifacts,
+    INJECTION_KINDS,
+    audit_artifacts,
+    audit_pair,
+    capture_artifacts,
+    inject_defect,
+)
+from repro.check.findings import (
+    AuditFinding,
+    AuditReport,
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+)
+
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "FlowArtifacts",
+    "INJECTION_KINDS",
+    "SEV_ERROR",
+    "SEV_INFO",
+    "SEV_WARNING",
+    "audit_artifacts",
+    "audit_pair",
+    "capture_artifacts",
+    "inject_defect",
+]

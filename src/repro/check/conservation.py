@@ -1,0 +1,142 @@
+"""2D <-> T-MI conservation audit.
+
+Folding changes geometry, never logic: the T-MI run of a benchmark is
+the *same* synthesized netlist laid out on folded cells.  What must be
+conserved across the pair (Section 3 / Table 1):
+
+* **cell count** — both runs start from the identical synthesized cell
+  count; only buffer insertion (timing optimization + CTS) may differ,
+  so ``n_cells - n_buffers`` must match exactly,
+* **iso-performance clock** — the T-MI run was performed at the 2D run's
+  closed clock (the paper's comparison methodology),
+* **net count** (module-level, when artifacts are available) — every
+  inserted buffer adds exactly one net, so ``n_nets - n_buffers`` must
+  also match,
+* **folded-cell MIVs** — each T-MI library cell's MIV count is exactly
+  the number of nets that touch both the PMOS and NMOS tier of its
+  transistor netlist; re-folding must reproduce it (the Table 1
+  expectation: every multi-device folded cell crosses tiers at least
+  once, and wiring-dense cells like DFF cross the most).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cells.folding import fold_cell_geometry
+from repro.check.findings import AuditFinding, SEV_ERROR
+from repro.circuits.netlist import Module
+
+STAGE = "conservation"
+
+MAX_OBJECTS = 8
+CLOCK_ABS_TOL_NS = 1.0e-9
+
+
+def check_pair(result_2d, result_3d,
+               module_2d: Optional[Module] = None,
+               module_3d: Optional[Module] = None
+               ) -> Tuple[List[AuditFinding], int]:
+    """Audit one iso-performance pair of LayoutResults."""
+    findings: List[AuditFinding] = []
+    checks = 0
+
+    # 1. Same synthesized netlist: base cell count conserved.
+    checks += 1
+    base_2d = result_2d.n_cells - result_2d.n_buffers
+    base_3d = result_3d.n_cells - result_3d.n_buffers
+    if base_2d != base_3d:
+        findings.append(AuditFinding(
+            check="conservation.cell_count", severity=SEV_ERROR,
+            stage=STAGE,
+            message=(f"base cell count differs across styles "
+                     f"(2D {base_2d}, T-MI {base_3d})"),
+            measured=float(base_3d), bound=float(base_2d)))
+    if result_2d.synthesis_cells != result_3d.synthesis_cells:
+        findings.append(AuditFinding(
+            check="conservation.cell_count", severity=SEV_ERROR,
+            stage=STAGE,
+            message=(f"synthesis cell count differs across styles "
+                     f"(2D {result_2d.synthesis_cells}, "
+                     f"T-MI {result_3d.synthesis_cells})"),
+            measured=float(result_3d.synthesis_cells),
+            bound=float(result_2d.synthesis_cells)))
+
+    # 2. Iso-performance: the pair shares the 2D closed clock.
+    checks += 1
+    if abs(result_3d.clock_ns - result_2d.clock_ns) > CLOCK_ABS_TOL_NS:
+        findings.append(AuditFinding(
+            check="conservation.iso_clock", severity=SEV_ERROR,
+            stage=STAGE,
+            message=(f"T-MI run clock {result_3d.clock_ns:.6f} ns is not "
+                     f"the 2D closed clock {result_2d.clock_ns:.6f} ns"),
+            measured=result_3d.clock_ns, bound=result_2d.clock_ns))
+
+    # 3. Net conservation at module level (one net per inserted buffer).
+    if module_2d is not None and module_3d is not None:
+        checks += 1
+        nets_2d = module_2d.n_nets - result_2d.n_buffers
+        nets_3d = module_3d.n_nets - result_3d.n_buffers
+        if nets_2d != nets_3d:
+            findings.append(AuditFinding(
+                check="conservation.net_count", severity=SEV_ERROR,
+                stage=STAGE,
+                message=(f"base net count differs across styles "
+                         f"(2D {nets_2d}, T-MI {nets_3d})"),
+                measured=float(nets_3d), bound=float(nets_2d)))
+        checks += 1
+        if module_2d.n_cells != result_2d.n_cells:
+            findings.append(AuditFinding(
+                check="conservation.cell_count", severity=SEV_ERROR,
+                stage=STAGE,
+                message=("2D module instance count disagrees with its "
+                         "reported result"),
+                measured=float(module_2d.n_cells),
+                bound=float(result_2d.n_cells)))
+        if module_3d.n_cells != result_3d.n_cells:
+            findings.append(AuditFinding(
+                check="conservation.cell_count", severity=SEV_ERROR,
+                stage=STAGE,
+                message=("T-MI module instance count disagrees with its "
+                         "reported result"),
+                measured=float(module_3d.n_cells),
+                bound=float(result_3d.n_cells)))
+
+    return findings, checks
+
+
+def check_folded_mivs(library) -> Tuple[List[AuditFinding], int]:
+    """Audit a T-MI library's per-cell MIV counts (Table 1 expectations)."""
+    findings: List[AuditFinding] = []
+    checks = 0
+    if not getattr(library, "is_3d", False):
+        return findings, checks
+
+    checks += 1
+    mismatched: List[str] = []
+    no_crossing: List[str] = []
+    for cell in library:
+        refolded = fold_cell_geometry(cell.netlist, library.node)
+        if refolded.miv_count != cell.geometry.miv_count:
+            mismatched.append(cell.name)
+        if len(cell.netlist.devices) >= 2 \
+                and cell.geometry.miv_count < 1:
+            no_crossing.append(cell.name)
+    if mismatched:
+        findings.append(AuditFinding(
+            check="conservation.miv_count", severity=SEV_ERROR,
+            stage=STAGE,
+            message=(f"{len(mismatched)} folded cell(s) carry an MIV "
+                     f"count re-folding does not reproduce"),
+            objects=tuple(mismatched[:MAX_OBJECTS]),
+            measured=float(len(mismatched)), bound=0.0))
+    checks += 1
+    if no_crossing:
+        findings.append(AuditFinding(
+            check="conservation.miv_count", severity=SEV_ERROR,
+            stage=STAGE,
+            message=(f"{len(no_crossing)} folded multi-device cell(s) "
+                     f"have no tier crossing at all"),
+            objects=tuple(no_crossing[:MAX_OBJECTS]),
+            measured=float(len(no_crossing)), bound=1.0))
+    return findings, checks

@@ -1,0 +1,136 @@
+"""Structured audit findings and reports.
+
+Every invariant check in :mod:`repro.check` emits zero or more
+:class:`AuditFinding` records — one per violated (or notable) invariant,
+carrying the check id, the flow stage it audits, the offending object
+ids, and the measured value against the bound it was checked against.
+An :class:`AuditReport` aggregates the findings of one audited run (or
+one paired comparison) together with the number of checks that executed,
+so "no findings" is distinguishable from "nothing ran".
+
+Severities:
+
+* ``error`` — a broken flow invariant: the result is structurally wrong
+  (overlapping placement beyond tolerance, an open net, inconsistent
+  slack arithmetic, power components that do not sum).  ``repro audit``
+  exits nonzero when any error finding exists.
+* ``warning`` — a soft bound exceeded: physically meaningful but
+  expected in degraded runs (routing overflow after the congestion
+  fallback, MB1 share outside the paper's ballpark).
+* ``info`` — context worth journaling, never a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+SEV_INFO = "info"
+
+_SEVERITIES = (SEV_ERROR, SEV_WARNING, SEV_INFO)
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One violated (or noted) flow invariant."""
+
+    check: str                    # e.g. "placement.overlap"
+    severity: str                 # error | warning | info
+    stage: str                    # placement | routing | sta | power | ...
+    message: str
+    objects: Tuple[str, ...] = ()      # offending object ids (cells, nets)
+    measured: Optional[float] = None   # what the check observed
+    bound: Optional[float] = None      # the limit it was checked against
+    run: str = ""                      # run label, e.g. "aes@45nm-2D"
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def row(self) -> Dict[str, object]:
+        """One line for :func:`repro.flow.reports.format_table`."""
+        return {
+            "severity": self.severity,
+            "check": self.check,
+            "run": self.run,
+            "measured": ("" if self.measured is None
+                         else f"{self.measured:.6g}"),
+            "bound": "" if self.bound is None else f"{self.bound:.6g}",
+            "detail": self.message,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "stage": self.stage,
+            "message": self.message,
+            "objects": list(self.objects),
+            "measured": self.measured,
+            "bound": self.bound,
+            "run": self.run,
+        }
+
+
+@dataclass
+class AuditReport:
+    """Findings of one audited run (or audited comparison)."""
+
+    findings: List[AuditFinding] = field(default_factory=list)
+    n_checks: int = 0             # invariants evaluated (found or not)
+
+    def extend(self, findings: Sequence[AuditFinding],
+               checks: int = 0) -> None:
+        self.findings.extend(findings)
+        self.n_checks += checks
+
+    def merge(self, other: "AuditReport") -> None:
+        self.extend(other.findings, other.n_checks)
+
+    def by_severity(self, severity: str) -> List[AuditFinding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def n_errors(self) -> int:
+        return len(self.by_severity(SEV_ERROR))
+
+    @property
+    def n_warnings(self) -> int:
+        return len(self.by_severity(SEV_WARNING))
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings do not fail an audit)."""
+        return self.n_errors == 0
+
+    def has(self, check: str) -> bool:
+        return any(f.check == check for f in self.findings)
+
+    def for_check(self, check: str) -> List[AuditFinding]:
+        return [f for f in self.findings if f.check == check]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "checks": self.n_checks,
+            "findings": len(self.findings),
+            "errors": self.n_errors,
+            "warnings": self.n_warnings,
+            "ok": self.ok,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "summary": self.summary(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def tagged(findings: Sequence[AuditFinding], run: str
+           ) -> List[AuditFinding]:
+    """Copies of ``findings`` labelled with a run name."""
+    return [AuditFinding(check=f.check, severity=f.severity, stage=f.stage,
+                         message=f.message, objects=f.objects,
+                         measured=f.measured, bound=f.bound, run=run)
+            for f in findings]

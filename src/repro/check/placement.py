@@ -1,0 +1,172 @@
+"""Placement legality audit.
+
+Checks the invariants the paper's flow (and every number derived from a
+layout) silently relies on:
+
+* every cell sits inside the core outline,
+* every cell sits on a legal row center for its style's row height —
+  2D cells on 1.4 um rows, folded T-MI cells on 0.84 um rows at 45 nm
+  (the tier-assignment rule: a folded cell's row height *is* its tier
+  budget, Section 3.2, including the MIV/MB1 landing space the folded
+  height reserves),
+* row overlap stays within tolerance.  The Tetris legalizer packs rows
+  disjointly; post-placement optimization and CTS drop buffers near
+  their loads without re-legalizing (acceptable at global-routing
+  abstraction), so a small overlap *area fraction* is expected — but a
+  broken legalizer or a mis-scaled library shows up as gross overlap,
+* placed density cannot exceed 100 % of the core (cells do not fit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.check.findings import (
+    AuditFinding,
+    SEV_ERROR,
+    SEV_WARNING,
+)
+from repro.circuits.netlist import Module
+from repro.place.floorplan import Floorplan
+
+STAGE = "placement"
+
+# Geometric slop for boundary/row comparisons, um.
+EPS_UM = 1.0e-6
+# Overlap area (fraction of total cell area) tolerated from incremental
+# buffer insertion; gross overlap above the error bound means the
+# legalizer (or the library geometry) is broken.
+OVERLAP_WARNING_FRACTION = 0.02
+OVERLAP_ERROR_FRACTION = 0.10
+# Actual placed density must stay at or below 100 % of the core.
+DENSITY_ERROR = 1.0 + 1.0e-6
+# How many offending object ids a finding carries at most.
+MAX_OBJECTS = 8
+
+
+def _overlap_area_um2(module: Module, library,
+                      floorplan: Floorplan) -> Tuple[float, List[str]]:
+    """Total pairwise overlap area and the worst offending cells."""
+    rows: Dict[int, List[Tuple[float, float, int]]] = {}
+    row_h = floorplan.row_height_um
+    for inst in module.instances:
+        width = library.cell(inst.cell_name).width_um
+        row = int(round(inst.y_um / row_h - 0.5))
+        rows.setdefault(row, []).append(
+            (inst.x_um - width / 2.0, inst.x_um + width / 2.0, inst.index))
+    overlap_um2 = 0.0
+    offenders: List[Tuple[float, str]] = []
+    for row, spans in rows.items():
+        spans.sort()
+        reach = -float("inf")
+        reach_idx = -1
+        for lo, hi, idx in spans:
+            if lo < reach - EPS_UM:
+                length = min(reach, hi) - lo
+                overlap_um2 += length * row_h
+                offenders.append(
+                    (length, module.instances[idx].name))
+                if reach_idx >= 0 and len(offenders) < 2 * MAX_OBJECTS:
+                    offenders.append(
+                        (length, module.instances[reach_idx].name))
+            if hi > reach:
+                reach = hi
+                reach_idx = idx
+    offenders.sort(reverse=True)
+    seen: List[str] = []
+    for _length, name in offenders:
+        if name not in seen:
+            seen.append(name)
+        if len(seen) >= MAX_OBJECTS:
+            break
+    return overlap_um2, seen
+
+
+def check_placement(module: Module, library, floorplan: Floorplan
+                    ) -> Tuple[List[AuditFinding], int]:
+    """Audit one placed module; returns (findings, checks evaluated)."""
+    findings: List[AuditFinding] = []
+    checks = 0
+    row_h = floorplan.row_height_um
+    n_rows = floorplan.n_rows
+
+    # 1. Row height matches the integration style (tier assignment).
+    checks += 1
+    expected_h = (library.node.tmi_cell_height_um if library.is_3d
+                  else library.node.cell_height_um)
+    if abs(row_h - expected_h) > EPS_UM:
+        findings.append(AuditFinding(
+            check="placement.row_height", severity=SEV_ERROR, stage=STAGE,
+            message=(f"row height {row_h:.4g} um does not match the "
+                     f"{'T-MI' if library.is_3d else '2D'} cell height"),
+            measured=row_h, bound=expected_h))
+
+    # 2. Cells inside the core outline.
+    checks += 1
+    outside: List[str] = []
+    for inst in module.instances:
+        half_w = library.cell(inst.cell_name).width_um / 2.0
+        if (inst.x_um - half_w < -EPS_UM
+                or inst.x_um + half_w > floorplan.width_um + EPS_UM
+                or inst.y_um < -EPS_UM
+                or inst.y_um > floorplan.height_um + EPS_UM):
+            outside.append(inst.name)
+    if outside:
+        findings.append(AuditFinding(
+            check="placement.out_of_core", severity=SEV_ERROR, stage=STAGE,
+            message=(f"{len(outside)} cell(s) outside the "
+                     f"{floorplan.width_um:.1f} x {floorplan.height_um:.1f}"
+                     f" um core"),
+            objects=tuple(outside[:MAX_OBJECTS]),
+            measured=float(len(outside)), bound=0.0))
+
+    # 3. Cells on legal row centers.
+    checks += 1
+    off_row: List[str] = []
+    for inst in module.instances:
+        row = inst.y_um / row_h - 0.5
+        if abs(row - round(row)) > 1.0e-4 or not (
+                -0.5 - 1e-4 <= row <= n_rows - 0.5 + 1e-4):
+            off_row.append(inst.name)
+    if off_row:
+        findings.append(AuditFinding(
+            check="placement.off_row", severity=SEV_ERROR, stage=STAGE,
+            message=(f"{len(off_row)} cell(s) not centered on a "
+                     f"{row_h:.3g} um row"),
+            objects=tuple(off_row[:MAX_OBJECTS]),
+            measured=float(len(off_row)), bound=0.0))
+
+    # 4. Overlap within tolerance.
+    checks += 1
+    total_area = sum(library.cell(i.cell_name).area_um2
+                     for i in module.instances)
+    if total_area > 0.0:
+        overlap_um2, offenders = _overlap_area_um2(module, library,
+                                                   floorplan)
+        fraction = overlap_um2 / total_area
+        if fraction > OVERLAP_ERROR_FRACTION:
+            severity, bound = SEV_ERROR, OVERLAP_ERROR_FRACTION
+        elif fraction > OVERLAP_WARNING_FRACTION:
+            severity, bound = SEV_WARNING, OVERLAP_WARNING_FRACTION
+        else:
+            severity = None
+        if severity is not None:
+            findings.append(AuditFinding(
+                check="placement.overlap", severity=severity, stage=STAGE,
+                message=(f"cell overlap area is {fraction:.2%} of total "
+                         f"cell area"),
+                objects=tuple(offenders),
+                measured=fraction, bound=bound))
+
+    # 5. Placed density physically possible.
+    checks += 1
+    if floorplan.area_um2 > 0.0:
+        density = total_area / floorplan.area_um2
+        if density > DENSITY_ERROR:
+            findings.append(AuditFinding(
+                check="placement.density", severity=SEV_ERROR, stage=STAGE,
+                message=(f"cell area exceeds the core area "
+                         f"({density:.2%} density)"),
+                measured=density, bound=1.0))
+
+    return findings, checks

@@ -1,0 +1,123 @@
+"""Power accounting audit.
+
+The paper reports power in a fixed decomposition (internal/cell +
+switching/net + leakage, Tables 4/7/13/14; wire vs pin capacitance,
+Table 16).  This audit re-adds the ledger:
+
+* **sums** — ``total = cell + net + leakage`` and
+  ``net = wire + pin`` must close within float tolerance (the analyzer
+  constructs them that way; a mismatch means a hand-edited or corrupted
+  report),
+* **Table 16 reconciliation** — the reported wire/pin capacitance totals
+  must equal what extraction actually says: wire cap re-summed from the
+  routed net model, pin cap re-summed from the library's input pin caps
+  over every net's sinks,
+* **sanity** — no negative components, and clock power cannot exceed the
+  total.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.check.findings import AuditFinding, SEV_ERROR
+from repro.circuits.netlist import Module
+from repro.power.analysis import PowerReport
+from repro.timing.netmodel import NetModel
+
+STAGE = "power"
+
+# Relative tolerance for power/cap reconciliation.  The analyzer builds
+# the sums exactly; the slack only absorbs float-summation order.
+REL_TOL = 1.0e-6
+
+
+def _rel_dev(got: float, want: float, floor: float = 1.0e-9) -> float:
+    return abs(got - want) / max(abs(want), floor)
+
+
+def check_power(report: PowerReport,
+                module: Optional[Module] = None,
+                library=None,
+                net_model: Optional[NetModel] = None
+                ) -> Tuple[List[AuditFinding], int]:
+    """Audit one power report; returns (findings, checks evaluated).
+
+    The extraction reconciliation (Table 16) runs only when the module,
+    library and routed net model are supplied; the pure accounting checks
+    need the report alone.
+    """
+    findings: List[AuditFinding] = []
+    checks = 0
+
+    # 1. total = cell + net + leakage.
+    checks += 1
+    summed = report.cell_mw + report.net_mw + report.leakage_mw
+    if _rel_dev(report.total_mw, summed) > REL_TOL:
+        findings.append(AuditFinding(
+            check="power.sum", severity=SEV_ERROR, stage=STAGE,
+            message=("total power does not equal "
+                     "cell + net + leakage"),
+            measured=report.total_mw, bound=summed))
+
+    # 2. net = wire + pin.
+    checks += 1
+    net_sum = report.net_wire_mw + report.net_pin_mw
+    if _rel_dev(report.net_mw, net_sum) > REL_TOL:
+        findings.append(AuditFinding(
+            check="power.net_split", severity=SEV_ERROR, stage=STAGE,
+            message="net power does not equal wire + pin components",
+            measured=report.net_mw, bound=net_sum))
+
+    # 3. No negative components; clock power bounded by the total.
+    checks += 1
+    for name, value in (("total", report.total_mw),
+                        ("cell", report.cell_mw),
+                        ("net", report.net_mw),
+                        ("leakage", report.leakage_mw),
+                        ("net wire", report.net_wire_mw),
+                        ("net pin", report.net_pin_mw),
+                        ("wire cap", report.wire_cap_pf),
+                        ("pin cap", report.pin_cap_pf),
+                        ("clock", report.clock_mw)):
+        if value < 0.0:
+            findings.append(AuditFinding(
+                check="power.negative", severity=SEV_ERROR, stage=STAGE,
+                message=f"{name} component is negative",
+                objects=(name,), measured=value, bound=0.0))
+    if report.clock_mw > report.total_mw * (1.0 + REL_TOL) + 1e-12:
+        findings.append(AuditFinding(
+            check="power.clock_share", severity=SEV_ERROR, stage=STAGE,
+            message="clock power exceeds total power",
+            measured=report.clock_mw, bound=report.total_mw))
+
+    # 4. Table 16: reported wire/pin cap reconciles with extraction.
+    if module is not None and library is not None \
+            and net_model is not None:
+        checks += 1
+        wire_ff = 0.0
+        pin_ff = 0.0
+        for net in module.nets:
+            _r, c_wire = net_model.net_rc(net)
+            wire_ff += c_wire
+            for inst_idx, pin in net.sinks:
+                if inst_idx < 0:
+                    continue
+                cell = library.cell(module.instances[inst_idx].cell_name)
+                pin_ff += cell.pin_cap_ff(pin)
+        want_wire_pf = wire_ff / 1000.0
+        want_pin_pf = pin_ff / 1000.0
+        if _rel_dev(report.wire_cap_pf, want_wire_pf, 1e-6) > REL_TOL:
+            findings.append(AuditFinding(
+                check="power.wire_cap", severity=SEV_ERROR, stage=STAGE,
+                message=("reported wire capacitance does not match the "
+                         "routed extraction"),
+                measured=report.wire_cap_pf, bound=want_wire_pf))
+        if _rel_dev(report.pin_cap_pf, want_pin_pf, 1e-6) > REL_TOL:
+            findings.append(AuditFinding(
+                check="power.pin_cap", severity=SEV_ERROR, stage=STAGE,
+                message=("reported pin capacitance does not match the "
+                         "library pin caps"),
+                measured=report.pin_cap_pf, bound=want_pin_pf))
+
+    return findings, checks

@@ -1,0 +1,198 @@
+"""Routing connectivity and capacity audit.
+
+Checks that the global-routing result is a physically coherent cover of
+the netlist:
+
+* **opens** — every signal net with two or more placed pins has a routed
+  topology, and its routed length is at least the rectilinear Steiner
+  lower bound of its pin bounding box (any spanning tree must run at
+  least the bbox half-perimeter of wire, up to the RSMT correction the
+  router applies).  A missing net or an impossibly short one is an open.
+* **shorts / extraction consistency** — each net's lumped R and C must
+  equal its routed length times the unit RC of its assigned layer class.
+  Extra capacitance not explained by geometry is the lumped-model
+  signature of a short (unintended coupling), and is what a mis-merged
+  capTable looks like.
+* **layer/track capacity** — the busiest tiles' demand/capacity ratio.
+  Congestion above 1.0 is a warning (the supervised flow deliberately
+  accepts it after the degrade fallback, cf. the 7 nm LDPC discussion in
+  Section 6); gross overflow is an error.
+* **totals** — total wirelength, per-class wirelength, and the T-MI MB1
+  share must reconcile; 2D designs must carry no MB1 wire.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.check.findings import (
+    AuditFinding,
+    SEV_ERROR,
+    SEV_WARNING,
+)
+from repro.circuits.netlist import Module, Net
+from repro.place.floorplan import Floorplan
+from repro.route.router import RoutingResult
+from repro.tech.interconnect import InterconnectModel
+
+STAGE = "routing"
+
+# Routed length must be at least this fraction of the pin bounding-box
+# half-perimeter (the router's RSMT correction factor is 0.88; anything
+# below is an open / truncated topology).
+OPEN_BOUND_FACTOR = 0.85
+# Relative tolerance for length x unit-RC reconciliation.
+RC_REL_TOL = 1.0e-6
+# Overflow ratio (busiest 5 % of tiles): above 1.0 the flow is congested
+# (warning — accepted after the degrade fallback); above the hard bound
+# the routing is not believable.
+OVERFLOW_WARNING = 1.0
+OVERFLOW_ERROR = 3.0
+MAX_OBJECTS = 8
+
+
+def _net_points(module: Module, net: Net, floorplan: Floorplan
+                ) -> List[Tuple[float, float]]:
+    """Pin positions the router sees for one net (mirror of its logic)."""
+    points: List[Tuple[float, float]] = []
+    if net.driver is not None:
+        if net.driver[0] >= 0:
+            inst = module.instances[net.driver[0]]
+            points.append((inst.x_um, inst.y_um))
+        else:
+            pos = floorplan.io_positions.get(net.index)
+            if pos:
+                points.append(pos)
+    for inst_idx, _pin in net.sinks:
+        if inst_idx >= 0:
+            inst = module.instances[inst_idx]
+            points.append((inst.x_um, inst.y_um))
+        else:
+            pos = floorplan.io_positions.get(net.index)
+            if pos:
+                points.append(pos)
+    return points
+
+
+def check_routing(module: Module, floorplan: Floorplan,
+                  routing: RoutingResult,
+                  interconnect: InterconnectModel,
+                  include_clock: bool = True
+                  ) -> Tuple[List[AuditFinding], int]:
+    """Audit one routed module; returns (findings, checks evaluated)."""
+    findings: List[AuditFinding] = []
+    checks = 0
+
+    # 1. Opens: every multi-pin net routed, at >= the bbox lower bound.
+    checks += 1
+    missing: List[str] = []
+    too_short: List[str] = []
+    for net in module.nets:
+        if net.is_clock and not include_clock:
+            continue
+        points = _net_points(module, net, floorplan)
+        if len(points) < 2:
+            continue
+        if net.index not in routing.lengths_um:
+            missing.append(net.name)
+            continue
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        half_perimeter = (max(xs) - min(xs)) + (max(ys) - min(ys))
+        if routing.lengths_um[net.index] \
+                < OPEN_BOUND_FACTOR * half_perimeter - 1e-9:
+            too_short.append(net.name)
+    if missing:
+        findings.append(AuditFinding(
+            check="routing.open", severity=SEV_ERROR, stage=STAGE,
+            message=f"{len(missing)} net(s) have no routed topology",
+            objects=tuple(missing[:MAX_OBJECTS]),
+            measured=float(len(missing)), bound=0.0))
+    if too_short:
+        findings.append(AuditFinding(
+            check="routing.open", severity=SEV_ERROR, stage=STAGE,
+            message=(f"{len(too_short)} net(s) routed shorter than their "
+                     f"pin bounding box allows (open/truncated tree)"),
+            objects=tuple(too_short[:MAX_OBJECTS]),
+            measured=float(len(too_short)), bound=0.0))
+
+    # 2. Shorts: lumped RC must equal length x the class's unit RC.
+    checks += 1
+    bad_rc: List[str] = []
+    worst_dev = 0.0
+    by_index = {net.index: net for net in module.nets}
+    for net_idx, length in routing.lengths_um.items():
+        cls = routing.layer_class.get(net_idx)
+        if cls is None or cls not in routing.grid.tile_capacity_um:
+            continue
+        rc = interconnect.class_rc(cls)
+        want_c = length * rc.capacitance_ff_per_um
+        want_r = length * rc.resistance_kohm_per_um
+        got_c = routing.capacitances_ff.get(net_idx, 0.0)
+        got_r = routing.resistances_kohm.get(net_idx, 0.0)
+        scale_c = max(abs(want_c), 1e-3)
+        scale_r = max(abs(want_r), 1e-6)
+        dev = max(abs(got_c - want_c) / scale_c,
+                  abs(got_r - want_r) / scale_r)
+        if dev > RC_REL_TOL:
+            worst_dev = max(worst_dev, dev)
+            net = by_index.get(net_idx)
+            bad_rc.append(net.name if net is not None else str(net_idx))
+    if bad_rc:
+        findings.append(AuditFinding(
+            check="routing.short", severity=SEV_ERROR, stage=STAGE,
+            message=(f"{len(bad_rc)} net(s) carry R/C not explained by "
+                     f"length x unit RC (short or corrupt extraction)"),
+            objects=tuple(bad_rc[:MAX_OBJECTS]),
+            measured=worst_dev, bound=RC_REL_TOL))
+
+    # 3. Track capacity: busiest-tile overflow.
+    checks += 1
+    overflow = routing.grid.worst_overflow()
+    if overflow > OVERFLOW_ERROR:
+        findings.append(AuditFinding(
+            check="routing.capacity", severity=SEV_ERROR, stage=STAGE,
+            message=(f"peak tile demand is {overflow:.2f}x capacity "
+                     f"(routing not believable)"),
+            measured=overflow, bound=OVERFLOW_ERROR))
+    elif overflow > OVERFLOW_WARNING:
+        findings.append(AuditFinding(
+            check="routing.capacity", severity=SEV_WARNING, stage=STAGE,
+            message=(f"peak tile demand is {overflow:.2f}x capacity "
+                     f"(congested; expected only after degrade fallback)"),
+            measured=overflow, bound=OVERFLOW_WARNING))
+
+    # 4. Wirelength totals reconcile.
+    checks += 1
+    summed = sum(routing.lengths_um.values())
+    scale = max(summed, 1.0)
+    if abs(summed - routing.total_wirelength_um) / scale > RC_REL_TOL:
+        findings.append(AuditFinding(
+            check="routing.wirelength_total", severity=SEV_ERROR,
+            stage=STAGE,
+            message="total wirelength does not equal the per-net sum",
+            measured=routing.total_wirelength_um, bound=summed))
+    by_class = sum(routing.wirelength_by_class.values())
+    if abs(by_class - routing.total_wirelength_um) / scale > RC_REL_TOL:
+        findings.append(AuditFinding(
+            check="routing.wirelength_total", severity=SEV_ERROR,
+            stage=STAGE,
+            message="per-class wirelength does not sum to the total",
+            measured=by_class, bound=routing.total_wirelength_um))
+
+    # 5. MB1 share: only T-MI stacks use the bottom tier's metal.
+    checks += 1
+    is_3d = interconnect.stack.is_3d
+    if not is_3d and routing.mb1_wirelength_um > 0.0:
+        findings.append(AuditFinding(
+            check="routing.mb1", severity=SEV_ERROR, stage=STAGE,
+            message="2D design reports MB1 (bottom-tier) wirelength",
+            measured=routing.mb1_wirelength_um, bound=0.0))
+    if routing.mb1_wirelength_um > routing.total_wirelength_um + 1e-9:
+        findings.append(AuditFinding(
+            check="routing.mb1", severity=SEV_ERROR, stage=STAGE,
+            message="MB1 wirelength exceeds total wirelength",
+            measured=routing.mb1_wirelength_um,
+            bound=routing.total_wirelength_um))
+
+    return findings, checks

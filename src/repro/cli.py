@@ -7,6 +7,15 @@ experiment ID          regenerate one paper table/figure (e.g. table4, fig3)
 bench [ID ...]         regenerate several tables/figures as one session,
                        deduplicating and (with --jobs) parallelizing the
                        shared flow runs
+audit [CIRCUIT ...]    run the flow and every invariant check
+                       (placement legality, routing opens/shorts/capacity,
+                       STA consistency, power accounting, 2D<->T-MI
+                       conservation); exit 1 on any error finding.
+                       ``--inject KIND`` plants a defect first to prove
+                       the checks catch it
+goldens [ID ...]       compare regenerated paper rows against the
+                       checked-in golden corpus (goldens/*.json);
+                       ``--update-goldens`` rewrites the corpus
 cells                  list the characterized library
 export-lib PATH        write the library as a Liberty .lib file
 export-layout CIRCUIT PATH    run the flow, write a JSON layout summary
@@ -166,6 +175,94 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Run flows under artifact capture and audit every invariant."""
+    from repro.check import audit as audit_mod
+    from repro.check.findings import AuditReport
+    from repro.flow.compare import run_iso_performance_comparison
+    from repro.flow.design_flow import FlowConfig, run_flow
+    from repro.runtime.supervisor import current_supervisor
+
+    circuits = args.circuits or ["fpu", "aes", "ldpc", "des", "m256"]
+    supervisor = current_supervisor()
+    report = AuditReport()
+    with audit_mod.capture_artifacts() as bucket:
+        for circuit in circuits:
+            if args.style == "both":
+                start = len(bucket)
+                run_iso_performance_comparison(
+                    circuit, node_name=args.node, scale=args.scale,
+                    target_clock_ns=args.clock)
+                art_2d, art_3d = bucket[start], bucket[start + 1]
+                report.merge(audit_mod.audit_pair(art_2d, art_3d))
+            else:
+                config = FlowConfig(
+                    circuit=circuit, node_name=args.node,
+                    is_3d=args.style == "tmi", scale=args.scale,
+                    target_clock_ns=args.clock)
+                label = f"{circuit}@{args.node}-{config.style()}"
+                with supervisor.run_context(label):
+                    run_flow(config)
+                report.merge(audit_mod.audit_artifacts(bucket[-1]))
+            if args.inject:
+                injected = audit_mod.inject_defect(bucket[-1], args.inject)
+                report.merge(audit_mod.audit_artifacts(
+                    injected, library_checks=False))
+    if report.findings:
+        print(format_table([f.row() for f in report.findings],
+                           "audit findings"))
+        print()
+    summary = report.summary()
+    print(f"audit: {summary['checks']} check(s), "
+          f"{summary['errors']} error(s), "
+          f"{summary['warnings']} warning(s)")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as stream:
+            json.dump(report.to_dict(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote audit report to {args.json}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_goldens(args: argparse.Namespace) -> int:
+    """Compare regenerated rows against (or rewrite) the golden corpus."""
+    from pathlib import Path
+
+    from repro.check import goldens as goldens_mod
+
+    ids = [i.lower().replace(" ", "")
+           for i in (args.ids or goldens_mod.GOLDEN_EXPERIMENTS)]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(f"unknown experiment id(s) {unknown}; known: {known}",
+              file=sys.stderr)
+        return 2
+    if args.jobs > 1:
+        _prefetch_for(ids, args.jobs)
+    directory = Path(args.dir) if args.dir else None
+
+    failed = False
+    for experiment_id in ids:
+        module = importlib.import_module(
+            f"repro.experiments.{EXPERIMENTS[experiment_id]}")
+        rows = module.run()
+        if args.update_goldens:
+            path = goldens_mod.write_golden(experiment_id, rows, directory)
+            print(f"{experiment_id}: wrote {path}")
+            continue
+        diff = goldens_mod.check_golden(experiment_id, rows, directory)
+        print(f"{experiment_id}: {diff.status} — {diff.message}")
+        for deviation in diff.deviations:
+            if args.verbose or not deviation.within:
+                print(f"  {deviation.describe()}")
+        failed = failed or not diff.ok
+    status = _report_session_errors()
+    return 1 if failed else status
+
+
 def _cmd_cells(args: argparse.Namespace) -> int:
     from repro.flow.design_flow import library_for
 
@@ -275,6 +372,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a JSON session report (timings, row "
                         "digests, engine stats) to PATH")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("audit",
+                       help="run the flow and every invariant check; "
+                            "exit 1 on any error finding")
+    p.add_argument("circuits", nargs="*", metavar="CIRCUIT",
+                   help="benchmarks to audit (default: all five)")
+    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--style", default="both",
+                   choices=["both", "2d", "tmi"],
+                   help="audit one style, or the iso-performance pair "
+                        "including 2D<->T-MI conservation (default)")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--clock", type=float, default=None,
+                   help="target clock in ns (default: auto-closed)")
+    p.add_argument("--inject", default=None,
+                   choices=["overlap", "open", "short", "timing", "power"],
+                   help="plant one defect class before auditing (the "
+                        "audit must then fail)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the structured findings report to PATH")
+    p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser("goldens",
+                       help="check regenerated paper rows against the "
+                            "golden regression corpus")
+    p.add_argument("ids", nargs="*", metavar="ID",
+                   help="experiment ids (default: the full corpus)")
+    p.add_argument("--update-goldens", action="store_true",
+                   help="rewrite the goldens from this run's rows "
+                        "instead of comparing")
+    p.add_argument("--dir", default=None, metavar="PATH",
+                   help="golden corpus directory (default: "
+                        "$REPRO_GOLDEN_DIR or goldens/ at the repo root)")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print within-tolerance deviations")
+    p.set_defaults(func=_cmd_goldens)
 
     p = sub.add_parser("cells", help="list the characterized library")
     p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])

@@ -150,12 +150,18 @@ class TaskFailedError(FlowError):
     sessions can mark the row with the *original* failure.
     """
 
-    def __init__(self, label: str, error: str, message: str):
+    def __init__(self, label: str, error: str, message: str,
+                 worker_is_repro: bool = True):
         super().__init__(f"task {label!r} failed in worker: "
                          f"{error}: {message}")
         self.label = label
         self.worker_error = error
         self.worker_message = message
+        # Whether the worker-side exception was a ReproError.  A non-Repro
+        # failure (a genuine bug) must abort row assembly exactly like the
+        # same exception raised sequentially, instead of degrading into an
+        # error row just because it happened on a worker.
+        self.worker_is_repro = worker_is_repro
 
 
 class WorkerCrashError(FlowError):

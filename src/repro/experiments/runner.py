@@ -122,17 +122,18 @@ def _cache_insert(cache: Dict[str, object], key: str, value: object) -> None:
 
 # -- parallel warm phase ---------------------------------------------------
 
-# key -> (label, worker error class name, message) for tasks that failed
-# in a parallel warm phase under keep-going.  Consulted by the cached
-# call sites so a driver's request for that result raises immediately
-# (with the original error) instead of recomputing a known failure.
+# key -> (label, worker error class name, message, was-a-ReproError) for
+# tasks that failed in a parallel warm phase under keep-going.  Consulted
+# by the cached call sites so a driver's request for that result raises
+# immediately (with the original error) instead of recomputing a known
+# failure.
 _FAILED_TASKS: Dict[str, tuple] = {}
 
 
 def record_task_failure(key: str, label: str, error: str,
-                        message: str) -> None:
+                        message: str, repro_error: bool = True) -> None:
     """Remember a parallel task failure for this session."""
-    _FAILED_TASKS[key] = (label, error, message)
+    _FAILED_TASKS[key] = (label, error, message, repro_error)
 
 
 def task_failures() -> Dict[str, tuple]:
@@ -146,7 +147,9 @@ def clear_task_failures() -> None:
 def _check_failed(key: str) -> None:
     failure = _FAILED_TASKS.get(key)
     if failure is not None:
-        raise TaskFailedError(*failure)
+        label, error, message, repro_error = failure
+        raise TaskFailedError(label, error, message,
+                              worker_is_repro=repro_error)
 
 
 def prefetch(tasks: object, jobs: Optional[int] = None,
@@ -182,7 +185,8 @@ def prefetch(tasks: object, jobs: Optional[int] = None,
             if record.status != "ok":
                 record_task_failure(record.key, record.label,
                                     record.error or "ReproError",
-                                    record.message)
+                                    record.message,
+                                    repro_error=record.repro_error)
                 continue
             value = engine.value_for(record.key)
             if value is None:
@@ -311,6 +315,13 @@ def resilient_rows(items: Iterable[object],
         try:
             out = row_fn(item)
         except ReproError as exc:
+            if (isinstance(exc, TaskFailedError)
+                    and not exc.worker_is_repro):
+                # The worker died on a non-Repro exception — a genuine
+                # bug.  Sequentially the same exception would abort even
+                # under keep-going (only ReproError is caught here), so
+                # re-raise for identical parallel/sequential semantics.
+                raise
             if not _SESSION.keep_going:
                 raise
             name = label(item)

@@ -33,6 +33,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.cells.nangate import build_nangate_library
+from repro.check import audit as flow_audit
+from repro.check.findings import AuditReport
+from repro.check.placement import check_placement
+from repro.check.power import check_power
+from repro.check.routing import check_routing
+from repro.check.timing import check_timing
 from repro.circuits.generators import generate_benchmark
 from repro.errors import CongestionError, RoutingError
 from repro.runtime.supervisor import StagePolicy, current_supervisor
@@ -124,6 +130,9 @@ class LayoutResult:
     synthesis_cells: int
     cts_buffers: int
     opt_buffers: int
+    # Invariant-audit outcome of the run (see repro.check); None only
+    # for results built outside run_flow (tests, synthetic fixtures).
+    audit: Optional[AuditReport] = None
 
     @property
     def met(self) -> bool:
@@ -359,7 +368,30 @@ def run_flow(config: FlowConfig) -> LayoutResult:
 
     power = supervisor.run_stage("power", _power)
 
-    return LayoutResult(
+    # -- invariant audit ----------------------------------------------------------
+    # Machine-check what the stages claim (legal placement, connected
+    # routing, closing slack arithmetic, summing power) on the final
+    # state; every finding lands in the supervisor journal.  Errors do
+    # not abort the flow — degraded runs are expected to carry findings
+    # (congestion warnings, missed iso targets) and the tables report
+    # them; `repro audit` is the command that turns them into a failure.
+    def _audit() -> AuditReport:
+        audit_report = AuditReport()
+        findings, n = check_placement(module, library, floorplan)
+        audit_report.extend(findings, n)
+        findings, n = check_routing(module, floorplan, routing,
+                                    interconnect)
+        audit_report.extend(findings, n)
+        findings, n = check_timing(module, library, report, clock_ns)
+        audit_report.extend(findings, n)
+        findings, n = check_power(power, module, library, routed_model)
+        audit_report.extend(findings, n)
+        supervisor.record_findings(audit_report.findings)
+        return audit_report
+
+    audit = supervisor.run_stage("audit", _audit)
+
+    result = LayoutResult(
         config=config,
         clock_ns=clock_ns,
         footprint_um2=floorplan.area_um2,
@@ -376,4 +408,22 @@ def run_flow(config: FlowConfig) -> LayoutResult:
         synthesis_cells=synthesis_cells,
         cts_buffers=cts_buffers,
         opt_buffers=layout.pre_opt_buffers + post_opt.n_buffers_added,
+        audit=audit,
     )
+    if flow_audit.collecting():
+        flow_audit.deposit(flow_audit.FlowArtifacts(
+            config=config,
+            library=library,
+            interconnect=interconnect,
+            module=module,
+            floorplan=floorplan,
+            routing=routing,
+            routed_model=routed_model,
+            timing_report=report,
+            clock_ns=clock_ns,
+            power=power,
+            result=result,
+            label=supervisor.run_label or
+            f"{config.circuit}@{config.node_name}-{config.style()}",
+        ))
+    return result

@@ -16,7 +16,10 @@ Failure semantics mirror the sequential session:
   failed :class:`~repro.parallel.report.TaskRecord` — the drivers later
   turn it into an error-marked row; without keep-going the engine raises
   :class:`repro.errors.TaskFailedError` at the first failure, like a
-  sequential run raising out of the row.
+  sequential run raising out of the row.  A *non*-Repro exception (a
+  genuine bug) is contained to the same record shape but flagged
+  (``TaskRecord.repro_error=False``), and row assembly re-raises it so
+  keep-going never hides a bug that would abort a sequential session.
 * a **worker crash** (the process dies — OOM kill, segfault, ``os._exit``)
   breaks the pool; the engine rebuilds it and re-runs the tasks that were
   still pending, each charged one attempt.  A task pending across more
@@ -133,6 +136,17 @@ def _execute_task(spec: TaskSpec) -> Dict[str, object]:
     except ReproError as exc:
         base.update(status=STATUS_FAILED, cached=False, stored=False,
                     error=type(exc).__name__, message=str(exc),
+                    repro_error=True,
+                    wall_s=time.perf_counter() - start)
+        return base
+    except Exception as exc:
+        # A non-Repro exception is a genuine bug.  Contain it to the same
+        # record shape (so jobs=1 and pooled sessions produce identical
+        # records) but flag it, so row assembly re-raises it instead of
+        # degrading it into an error row under keep-going.
+        base.update(status=STATUS_FAILED, cached=False, stored=False,
+                    error=type(exc).__name__, message=str(exc),
+                    repro_error=False,
                     wall_s=time.perf_counter() - start)
         return base
     finally:
@@ -297,6 +311,7 @@ class ParallelEngine:
             attempts=task.attempts + 1,
             error=payload.get("error"),
             message=str(payload.get("message", "")),
+            repro_error=bool(payload.get("repro_error", True)),
         )
 
     def _run_batch(self, pending: Dict[str, _PendingTask],
@@ -353,13 +368,19 @@ class ParallelEngine:
                             raise
                         except Exception as exc:
                             # A non-Repro exception escaped the worker
-                            # wrapper: a genuine bug, but contained as a
-                            # task failure rather than a session abort.
+                            # wrapper (e.g. the payload itself failed to
+                            # unpickle): contained as a task failure with
+                            # the same record shape as a worker-side one.
                             payload = {
                                 "key": task.spec.key,
                                 "status": STATUS_FAILED,
+                                "cached": False,
+                                "stored": False,
+                                "wall_s": 0.0,
+                                "pid": None,
                                 "error": type(exc).__name__,
                                 "message": str(exc),
+                                "repro_error": False,
                             }
                         self._record(records, task, payload)
                         pending.pop(task.spec.key, None)
@@ -424,4 +445,5 @@ class ParallelEngine:
             if record.status == STATUS_FAILED:
                 raise TaskFailedError(record.label,
                                       record.error or "ReproError",
-                                      record.message)
+                                      record.message,
+                                      worker_is_repro=record.repro_error)

@@ -36,6 +36,7 @@ class TaskRecord:
     attempts: int = 1              # 1 + crash-rebuild rounds spent pending
     error: Optional[str] = None    # exception class name, failures only
     message: str = ""
+    repro_error: bool = True       # failure was a ReproError (vs a bug)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -50,6 +51,7 @@ class TaskRecord:
             "attempts": self.attempts,
             "error": self.error,
             "message": self.message,
+            "repro_error": self.repro_error,
         }
 
 

@@ -55,7 +55,7 @@ logger = logging.getLogger(__name__)
 
 # Bump when LayoutResult/ComparisonResult (or anything they embed)
 # changes shape: every existing checkpoint entry becomes invisible.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2   # 2: LayoutResult carries its AuditReport
 
 _MAGIC = b"repro-ckpt"
 

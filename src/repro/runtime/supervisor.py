@@ -34,6 +34,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.check.findings import AuditFinding
 from repro.errors import RetryExhaustedError, StageTimeoutError
 from repro.runtime import faults
 
@@ -89,15 +90,28 @@ class RunJournal:
 
     def __init__(self) -> None:
         self.records: List[StageRecord] = []
+        self.findings: List[AuditFinding] = []
         self._lock = threading.Lock()
 
     def record(self, record: StageRecord) -> None:
         with self._lock:
             self.records.append(record)
 
+    def record_finding(self, finding: AuditFinding) -> None:
+        """Journal one invariant-audit finding (see :mod:`repro.check`)."""
+        with self._lock:
+            self.findings.append(finding)
+
+    def findings_for(self, run: Optional[str] = None,
+                     severity: Optional[str] = None) -> List[AuditFinding]:
+        return [f for f in self.findings
+                if (run is None or f.run == run)
+                and (severity is None or f.severity == severity)]
+
     def clear(self) -> None:
         with self._lock:
             self.records.clear()
+            self.findings.clear()
 
     def for_stage(self, stage: str) -> List[StageRecord]:
         return [r for r in self.records if r.stage == stage]
@@ -110,16 +124,25 @@ class RunJournal:
         by_outcome: Dict[str, int] = {}
         for r in self.records:
             by_outcome[r.outcome] = by_outcome.get(r.outcome, 0) + 1
-        return {
+        summary: Dict[str, object] = {
             "attempts": len(self.records),
             "by_outcome": by_outcome,
             "wall_time_s": round(sum(r.wall_time_s for r in self.records), 6),
         }
+        if self.findings:
+            summary["audit_findings"] = len(self.findings)
+            summary["audit_errors"] = sum(
+                1 for f in self.findings if f.severity == "error")
+        return summary
 
     def write_jsonl(self, path: str) -> None:
         with open(path, "w") as stream:
             for r in self.records:
                 stream.write(json.dumps(r.to_dict()) + "\n")
+            for f in self.findings:
+                line = {"kind": "finding"}
+                line.update(f.to_dict())
+                stream.write(json.dumps(line) + "\n")
 
 
 def _run_with_timeout(name: str, fn: Callable[[], object],
@@ -173,6 +196,23 @@ class StageSupervisor:
             yield
         finally:
             self._run_label = previous
+
+    @property
+    def run_label(self) -> str:
+        return self._run_label
+
+    # -- audit findings ---------------------------------------------------
+
+    def record_findings(self, findings) -> None:
+        """Journal audit findings, tagged with the current run label."""
+        for finding in findings:
+            if self._run_label and not finding.run:
+                finding = AuditFinding(
+                    check=finding.check, severity=finding.severity,
+                    stage=finding.stage, message=finding.message,
+                    objects=finding.objects, measured=finding.measured,
+                    bound=finding.bound, run=self._run_label)
+            self.journal.record_finding(finding)
 
     # -- policy resolution -----------------------------------------------
 

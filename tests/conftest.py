@@ -39,8 +39,22 @@ def node7():
 
 
 @pytest.fixture(scope="session")
-def aes_comparison_small():
-    """One shared tiny iso-performance run for flow-level tests."""
+def aes_capture_small():
+    """One shared tiny iso-performance run, with flow artifacts captured.
+
+    Returns ``(comparison, [artifacts_2d, artifacts_3d])`` — the audit
+    tests need the mid-flow state (module, floorplan, routing, reports)
+    that the comparison result itself does not carry.
+    """
+    from repro.check import capture_artifacts
     from repro.flow.compare import run_iso_performance_comparison
 
-    return run_iso_performance_comparison("aes", scale=0.05)
+    with capture_artifacts() as bucket:
+        comparison = run_iso_performance_comparison("aes", scale=0.05)
+    return comparison, bucket
+
+
+@pytest.fixture(scope="session")
+def aes_comparison_small(aes_capture_small):
+    """One shared tiny iso-performance run for flow-level tests."""
+    return aes_capture_small[0]

@@ -1,0 +1,82 @@
+"""Unit tests for the audit finding/report data model."""
+
+import pytest
+
+from repro.check.findings import (
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+    AuditFinding,
+    AuditReport,
+    tagged,
+)
+
+
+def _finding(check="placement.overlap", severity=SEV_ERROR, **kwargs):
+    defaults = dict(stage="placement", message="cells overlap")
+    defaults.update(kwargs)
+    return AuditFinding(check=check, severity=severity, **defaults)
+
+
+def test_finding_rejects_unknown_severity():
+    with pytest.raises(ValueError):
+        _finding(severity="fatal")
+
+
+def test_finding_row_formats_measured_and_bound():
+    finding = _finding(measured=0.123456789, bound=0.1)
+    row = finding.row()
+    assert row["check"] == "placement.overlap"
+    assert row["measured"] == "0.123457"
+    assert row["bound"] == "0.1"
+    # Absent numbers render as empty cells, not "None".
+    assert _finding().row()["measured"] == ""
+
+
+def test_finding_to_dict_round_trips_fields():
+    finding = _finding(objects=("u1", "u2"), measured=2.0, bound=1.0,
+                       run="aes@45nm-2D")
+    data = finding.to_dict()
+    assert data["objects"] == ["u1", "u2"]
+    assert AuditFinding(**{**data, "objects": tuple(data["objects"])}) \
+        == finding
+
+
+def test_report_counts_and_ok():
+    report = AuditReport()
+    assert report.ok and report.n_checks == 0
+    report.extend([_finding(severity=SEV_WARNING)], checks=3)
+    assert report.ok and report.n_warnings == 1
+    report.extend([_finding(), _finding(check="routing.open",
+                                        stage="routing")], checks=2)
+    assert not report.ok
+    assert report.n_errors == 2
+    assert report.n_checks == 5
+
+
+def test_report_merge_and_lookup():
+    first = AuditReport([_finding()], n_checks=1)
+    second = AuditReport([_finding(check="sta.wns", stage="sta",
+                                   severity=SEV_INFO)], n_checks=4)
+    first.merge(second)
+    assert first.n_checks == 5
+    assert first.has("sta.wns") and not first.has("sta.tns")
+    assert len(first.for_check("placement.overlap")) == 1
+
+
+def test_report_summary_shape():
+    report = AuditReport([_finding(severity=SEV_WARNING)], n_checks=7)
+    assert report.summary() == {
+        "checks": 7, "findings": 1, "errors": 0, "warnings": 1, "ok": True,
+    }
+    data = report.to_dict()
+    assert data["summary"]["checks"] == 7
+    assert len(data["findings"]) == 1
+
+
+def test_tagged_relabels_without_mutating():
+    original = _finding(run="")
+    (copy,) = tagged([original], "ldpc@7nm-T-MI")
+    assert copy.run == "ldpc@7nm-T-MI"
+    assert original.run == ""
+    assert copy.check == original.check

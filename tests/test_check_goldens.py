@@ -1,0 +1,191 @@
+"""Golden regression corpus tests.
+
+The harness tests use synthetic rows (fast, exhaustive over the status
+space).  One test regenerates a genuinely cheap experiment (Table 2 —
+library characterization only) against a golden written to a temp dir.
+Full-corpus regeneration against the checked-in ``goldens/`` directory
+is environment-gated (``REPRO_GOLDEN_FULL=1``) because it reruns every
+benchmark flow; CI's golden job runs the equivalent ``repro goldens``
+command instead.
+"""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.check.goldens import (
+    GOLDEN_EXPERIMENTS,
+    check_golden,
+    compare_rows,
+    default_golden_dir,
+    default_tolerance,
+    load_golden,
+    make_golden,
+    parse_numeric,
+    row_digest,
+    write_golden,
+)
+from repro.cli import EXPERIMENTS
+
+ROWS = [
+    {"circuit": "FPU", "power (mW)": 12.5, "diff": "-14.2%",
+     "wns (ps)": -0.3, "style": "2D"},
+    {"circuit": "AES", "power (mW)": 30.1, "diff": "-16.0%",
+     "wns (ps)": -0.1, "style": "T-MI"},
+]
+
+
+def test_parse_numeric_accepts_suffixed_cells():
+    assert parse_numeric(3) == 3.0
+    assert parse_numeric(-2.5) == -2.5
+    assert parse_numeric("-14.2%") == -14.2
+    assert parse_numeric("1.28x") == 1.28
+    assert parse_numeric("0.25 ns") == 0.25
+    assert parse_numeric("FPU") is None
+    assert parse_numeric(True) is None
+    assert parse_numeric(None) is None
+
+
+def test_default_tolerance_bands():
+    assert default_tolerance("diff", "-14.2%")["abs"] == 2.0
+    assert default_tolerance("wns (ps)", -0.3)["abs"] == 5.0
+    assert default_tolerance("power (mW)", 12.5)["rel"] == 0.02
+
+
+def test_make_golden_annotates_numeric_columns_only():
+    golden = make_golden("table4", ROWS)
+    assert golden["digest"] == row_digest(ROWS)
+    assert set(golden["tolerances"]) == {"power (mW)", "diff", "wns (ps)"}
+    assert "circuit" not in golden["tolerances"]
+
+
+def test_identical_rows_match_by_digest():
+    golden = make_golden("table4", ROWS)
+    diff = compare_rows(golden, copy.deepcopy(ROWS))
+    assert diff.status == "match" and diff.ok
+
+
+def test_drift_within_tolerance_passes_with_deviation():
+    golden = make_golden("table4", ROWS)
+    rows = copy.deepcopy(ROWS)
+    rows[0]["power (mW)"] = 12.6            # +0.8 %, inside rel 2 %
+    diff = compare_rows(golden, rows)
+    assert diff.status == "drift" and diff.ok
+    assert len(diff.deviations) == 1
+    assert diff.deviations[0].within
+
+
+def test_out_of_tolerance_is_regression():
+    golden = make_golden("table4", ROWS)
+    rows = copy.deepcopy(ROWS)
+    rows[1]["diff"] = "-25.0%"              # 9 points off, band is 2
+    diff = compare_rows(golden, rows)
+    assert diff.status == "regression" and not diff.ok
+    (deviation,) = [d for d in diff.deviations if not d.within]
+    assert deviation.column == "diff"
+    assert "OUT OF TOLERANCE" in deviation.describe()
+
+
+def test_row_count_change_is_structural_regression():
+    golden = make_golden("table4", ROWS)
+    diff = compare_rows(golden, ROWS[:1])
+    assert diff.status == "regression"
+    assert "row count" in diff.message
+
+
+def test_column_change_is_structural_regression():
+    golden = make_golden("table4", ROWS)
+    rows = copy.deepcopy(ROWS)
+    rows[0]["extra"] = 1.0
+    diff = compare_rows(golden, rows)
+    assert diff.status == "regression"
+    assert "columns changed" in diff.message
+
+
+def test_textual_cell_change_is_structural():
+    golden = make_golden("table4", ROWS)
+    rows = copy.deepcopy(ROWS)
+    rows[1]["style"] = "3D"
+    diff = compare_rows(golden, rows)
+    assert diff.status == "regression"
+    (deviation,) = diff.deviations
+    assert deviation.kind == "structural" and not deviation.within
+
+
+def test_write_load_round_trip_and_missing(tmp_path):
+    assert check_golden("table4", ROWS, tmp_path).status == "missing"
+    path = write_golden("table4", ROWS, tmp_path)
+    assert json.loads(path.read_text())["schema"] == 1
+    assert load_golden("table4", tmp_path)["digest"] == row_digest(ROWS)
+    assert check_golden("table4", ROWS, tmp_path).status == "match"
+
+
+def test_golden_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_GOLDEN_DIR", str(tmp_path))
+    assert default_golden_dir() == tmp_path
+
+
+def test_corpus_ids_are_known_experiments():
+    for experiment in GOLDEN_EXPERIMENTS:
+        assert experiment in EXPERIMENTS
+
+
+def test_cheap_experiment_round_trips_against_fresh_golden(tmp_path):
+    # Table 10 is a constants table (no flows, no characterization):
+    # free to regenerate twice in tier-1.  Any experiment id may carry
+    # a golden, not just the checked-in corpus.
+    import importlib
+
+    module = importlib.import_module(
+        f"repro.experiments.{EXPERIMENTS['table10']}")
+    rows = module.run()
+    write_golden("table10", rows, tmp_path)
+    diff = check_golden("table10", module.run(), tmp_path)
+    assert diff.status == "match"
+
+
+def test_cli_goldens_update_and_check(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(["goldens", "table10", "--update-goldens",
+               "--dir", str(tmp_path)])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["goldens", "table10", "--dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "table10: match" in out
+
+
+def test_cli_goldens_detects_regression(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(["goldens", "table10", "--update-goldens",
+               "--dir", str(tmp_path)])
+    assert rc == 0
+    golden = load_golden("table10", tmp_path)
+    column = next(iter(golden["tolerances"]))
+    golden["rows"][0][column] = 1.0e9        # force out-of-tolerance
+    golden["digest"] = "stale"
+    path = tmp_path / "table10.json"
+    path.write_text(json.dumps(golden))
+    capsys.readouterr()
+    rc = main(["goldens", "table10", "--dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "regression" in out
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(os.environ.get("REPRO_GOLDEN_FULL") != "1",
+                    reason="full-corpus regeneration; set REPRO_GOLDEN_FULL=1")
+def test_full_corpus_matches_checked_in_goldens():
+    import importlib
+
+    for experiment in GOLDEN_EXPERIMENTS:
+        module = importlib.import_module(
+            f"repro.experiments.{EXPERIMENTS[experiment]}")
+        diff = check_golden(experiment, module.run())
+        assert diff.ok, diff.summary()

@@ -1,0 +1,240 @@
+"""Property-based tests with seeded stdlib generators (no new deps).
+
+Two families:
+
+* algebraic round-trips over :mod:`repro.units` and
+  :mod:`repro.tech.scaling`, driven by log-uniform samples from a seeded
+  ``random.Random`` so failures replay exactly;
+* random-netlist invariants: seeded benchmark variants are placed and
+  routed for real, then fed to the audit checks — clean runs must audit
+  clean, and seeded single-defect mutations must trip exactly the
+  matching check.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import units
+from repro.check.placement import check_placement
+from repro.check.routing import check_routing
+from repro.circuits.generators import generate_benchmark
+from repro.errors import TechnologyError
+from repro.place.placer import Placer
+from repro.route.router import GlobalRouter
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import build_stack_2d, build_stack_tmi
+from repro.tech.node import NODE_45NM
+from repro.tech.scaling import SCALING_45_TO_7, ScalingFactors
+
+SEEDS = (11, 23, 47)
+
+
+def _samples(seed, n=200, lo=1e-9, hi=1e9):
+    """Log-uniform positive magnitudes — spans fF..F-scale regimes."""
+    rng = random.Random(seed)
+    return [math.exp(rng.uniform(math.log(lo), math.log(hi)))
+            for _ in range(n)]
+
+
+# -- units round-trips -----------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("there, back", [
+    (units.nm_to_um, units.um_to_nm),
+    (units.ps_to_ns, units.ns_to_ps),
+    (units.ohm_to_kohm, units.kohm_to_ohm),
+    (units.pf_to_ff, units.ff_to_pf),
+])
+def test_unit_conversions_round_trip(seed, there, back):
+    for value in _samples(seed):
+        assert back(there(value)) == pytest.approx(value, rel=1e-12)
+        assert there(back(value)) == pytest.approx(value, rel=1e-12)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_length_chain_is_consistent(seed):
+    for value_um in _samples(seed):
+        assert units.um_to_mm(value_um) * units.UM_PER_MM == \
+            pytest.approx(value_um, rel=1e-12)
+        assert units.um_to_m(value_um) * units.UM_PER_M == \
+            pytest.approx(value_um, rel=1e-12)
+        # nm -> um -> mm -> m equals the direct nm -> m conversion.
+        nm = units.um_to_nm(value_um)
+        assert units.um_to_m(units.nm_to_um(nm)) == \
+            pytest.approx(value_um / units.UM_PER_M, rel=1e-12)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rc_product_unit_identity(seed):
+    rng = random.Random(seed)
+    for _ in range(200):
+        r_kohm = math.exp(rng.uniform(-6, 6))
+        c_ff = math.exp(rng.uniform(-6, 6))
+        # kohm * fF = ps, invariant under a round trip through SI units.
+        via_si = (units.ohm_to_kohm(units.kohm_to_ohm(r_kohm))
+                  * units.pf_to_ff(units.ff_to_pf(c_ff)))
+        assert units.rc_to_ps(r_kohm, c_ff) == \
+            pytest.approx(via_si, rel=1e-12)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_energy_and_power_identities(seed):
+    rng = random.Random(seed)
+    for _ in range(200):
+        cap_ff = math.exp(rng.uniform(-3, 6))
+        volts = rng.uniform(0.3, 1.5)
+        period_ns = math.exp(rng.uniform(-2, 3))
+        energy = units.energy_fj(cap_ff, volts)
+        assert energy == pytest.approx(cap_ff * volts ** 2, rel=1e-12)
+        # P * T recovers the per-cycle energy (mW * ns = fJ * 1e-3).
+        power = units.dynamic_power_mw(energy, period_ns)
+        assert power * period_ns == pytest.approx(energy * 1e-3,
+                                                  rel=1e-12)
+        assert units.leakage_power_mw(cap_ff, volts) == \
+            pytest.approx(cap_ff * volts * 1e-3, rel=1e-12)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_unit_resistance_scaling_laws(seed):
+    rng = random.Random(seed)
+    for _ in range(100):
+        rho = math.exp(rng.uniform(-1, 2))
+        width = math.exp(rng.uniform(-3, 1))
+        thickness = math.exp(rng.uniform(-3, 1))
+        base = units.unit_r_ohm_per_um(rho, width, thickness)
+        assert base > 0.0
+        # R/L is inverse in each cross-section dimension, linear in rho.
+        assert units.unit_r_ohm_per_um(rho, width * 2, thickness) == \
+            pytest.approx(base / 2, rel=1e-12)
+        assert units.unit_r_ohm_per_um(rho * 3, width, thickness) == \
+            pytest.approx(base * 3, rel=1e-12)
+    with pytest.raises(ValueError):
+        units.unit_r_ohm_per_um(1.0, 0.0, 1.0)
+
+
+# -- scaling factors -------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scaling_factors_area_and_round_trip(seed):
+    rng = random.Random(seed)
+    for _ in range(50):
+        factors = ScalingFactors(
+            geometry=math.exp(rng.uniform(-3, 1)),
+            input_cap=math.exp(rng.uniform(-3, 1)),
+            cell_delay=math.exp(rng.uniform(-3, 1)))
+        assert factors.area == pytest.approx(factors.geometry ** 2,
+                                             rel=1e-12)
+        value = math.exp(rng.uniform(-3, 3))
+        for factor in (factors.geometry, factors.input_cap,
+                       factors.cell_delay):
+            assert value * factor / factor == pytest.approx(value,
+                                                            rel=1e-12)
+
+
+@pytest.mark.parametrize("field", [
+    "geometry", "input_cap", "cell_delay", "output_slew", "cell_power",
+    "leakage_power", "internal_r", "internal_c",
+])
+def test_scaling_factors_reject_non_positive(field):
+    with pytest.raises(TechnologyError):
+        ScalingFactors(**{field: 0.0})
+    with pytest.raises(TechnologyError):
+        ScalingFactors(**{field: -1.0})
+
+
+def test_paper_scaling_constants_and_derivation():
+    assert SCALING_45_TO_7.geometry == pytest.approx(7.0 / 45.0)
+    assert SCALING_45_TO_7.area == pytest.approx((7.0 / 45.0) ** 2)
+    assert "7.7" in SCALING_45_TO_7.derivation_internal_r()
+
+
+# -- fuzzed placements / routes through the audit checks -------------------
+
+
+def _fuzzed_layout(seed, lib_2d, lib_3d):
+    """A seeded benchmark variant, placed and routed for real."""
+    rng = random.Random(seed)
+    circuit = rng.choice(("fpu", "des"))
+    scale = rng.uniform(0.03, 0.06)
+    is_3d = rng.random() < 0.5
+    library = lib_3d if is_3d else lib_2d
+    stack = build_stack_tmi(NODE_45NM) if is_3d \
+        else build_stack_2d(NODE_45NM)
+    utilization = rng.uniform(0.6, 0.8)
+
+    module = generate_benchmark(circuit, scale=scale, seed=seed)
+    placement = Placer(library, utilization).run(module)
+    interconnect = InterconnectModel(stack)
+    routing = GlobalRouter(library, interconnect,
+                           placement.floorplan).run(module)
+    return module, library, placement.floorplan, interconnect, routing
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzzed_layouts_audit_clean(seed, lib45_2d, lib45_3d):
+    module, library, floorplan, interconnect, routing = \
+        _fuzzed_layout(seed, lib45_2d, lib45_3d)
+
+    findings, checks = check_placement(module, library, floorplan)
+    errors = [f for f in findings if f.severity == "error"]
+    assert checks >= 5 and not errors, [f.to_dict() for f in errors]
+
+    findings, checks = check_routing(module, floorplan, routing,
+                                     interconnect)
+    errors = [f for f in findings if f.severity == "error"]
+    assert checks >= 5 and not errors, [f.to_dict() for f in errors]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzzed_placement_mutations_are_caught(seed, lib45_2d, lib45_3d):
+    module, library, floorplan, _interconnect, _routing = \
+        _fuzzed_layout(seed, lib45_2d, lib45_3d)
+    rng = random.Random(seed + 1)
+
+    victim = rng.choice(module.instances)
+    x, y = victim.x_um, victim.y_um
+
+    victim.x_um = floorplan.width_um * 2.0      # outside the core
+    findings, _ = check_placement(module, library, floorplan)
+    assert any(f.check == "placement.out_of_core"
+               and f.severity == "error" for f in findings)
+    victim.x_um = x
+
+    victim.y_um = y + floorplan.row_height_um * rng.uniform(0.2, 0.45)
+    findings, _ = check_placement(module, library, floorplan)
+    assert any(f.check == "placement.off_row"
+               and f.severity == "error" for f in findings)
+    victim.y_um = y
+
+    findings, _ = check_placement(module, library, floorplan)
+    assert not [f for f in findings if f.severity == "error"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzzed_routing_mutations_are_caught(seed, lib45_2d, lib45_3d):
+    module, _library, floorplan, interconnect, routing = \
+        _fuzzed_layout(seed, lib45_2d, lib45_3d)
+    rng = random.Random(seed + 2)
+
+    routed = [i for i, l in routing.lengths_um.items() if l > 1.0]
+    victim = rng.choice(routed)
+
+    shrunk = dict(routing.lengths_um)
+    shrunk[victim] *= 0.01
+    routing.lengths_um, original = shrunk, routing.lengths_um
+    findings, _ = check_routing(module, floorplan, routing, interconnect)
+    assert any(f.check == "routing.open" and f.severity == "error"
+               for f in findings)
+    routing.lengths_um = original
+
+    bloated = dict(routing.capacitances_ff)
+    bloated[victim] *= 50.0
+    routing.capacitances_ff, original = bloated, routing.capacitances_ff
+    findings, _ = check_routing(module, floorplan, routing, interconnect)
+    assert any(f.check == "routing.short" and f.severity == "error"
+               for f in findings)
+    routing.capacitances_ff = original

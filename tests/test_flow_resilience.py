@@ -59,7 +59,7 @@ def test_supervised_flow_journal_covers_all_stages():
         run_flow(FlowConfig(**SMALL))
     stages = [r.stage for r in sup.journal.records if r.outcome == "ok"]
     assert stages == ["prepare", "synthesis", "layout", "post_route",
-                      "signoff", "power"]
+                      "signoff", "power", "audit"]
 
 
 def test_congestion_retry_steps_utilization():

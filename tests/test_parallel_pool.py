@@ -42,6 +42,11 @@ def _crash_worker(result):
     os._exit(137)
 
 
+def _bug_factory(result):
+    # A non-Repro exception: stands in for a genuine bug in flow code.
+    return ValueError("injected bug")
+
+
 def test_rows_identical_sequential_vs_parallel_prefetch():
     rows_seq = table4.run(circuits=("fpu",), scale=SCALE)
     runner.clear_caches()
@@ -141,3 +146,75 @@ def test_keep_going_prefetch_degrades_to_error_rows():
     assert "error" in rows[1] and "RoutingError" in rows[1]["error"]
     errors = runner.session_errors()
     assert len(errors) == 1 and "aes" in errors[0].label
+
+
+# The stable part of a TaskRecord: everything except per-run timings and
+# the worker process id.
+_VOLATILE_RECORD_KEYS = ("wall_s", "pid")
+
+
+@pytest.mark.parametrize("fault_kwargs, expect_repro", [
+    ({"error": "RoutingError"}, True),
+    ({"factory": _bug_factory}, False),
+])
+def test_failure_record_shape_identical_inline_vs_pool(
+        tmp_path, fault_kwargs, expect_repro):
+    # The same failure must produce the same record whether it happened
+    # inline (jobs=1) or on a pooled worker — identical keys and values
+    # up to wall clock and pid.
+    fail = faults.FaultSpec(stage="layout", times=faults.ALWAYS,
+                            **fault_kwargs)
+    shapes = []
+    for jobs in (1, 2):
+        engine = ParallelEngine(store=CheckpointStore(tmp_path / str(jobs)),
+                                jobs=jobs, keep_going=True,
+                                worker_faults=(fail,))
+        report = engine.execute(
+            TaskGraph([comparison_task("fpu", scale=SCALE)]))
+        (record,) = report.records
+        assert record.status == "failed"
+        assert record.repro_error is expect_repro
+        shape = record.to_dict()
+        for key in _VOLATILE_RECORD_KEYS:
+            shape.pop(key)
+        shapes.append(shape)
+    assert shapes[0] == shapes[1]
+
+
+def test_keep_going_error_rows_identical_sequential_vs_parallel():
+    # A ReproError failure degrades to the same error row whether it was
+    # raised sequentially inside row assembly or on a pooled worker.
+    fail = faults.FaultSpec(stage="layout", error="RoutingError",
+                            times=faults.ALWAYS)
+    runner.set_keep_going(True)
+
+    with faults.inject(fail):
+        rows_seq = table4.run(circuits=("fpu",), scale=SCALE)
+    seq_errors = [e.summary() for e in runner.session_errors()]
+    runner.clear_caches()
+    runner.clear_session_errors()
+
+    graph = TaskGraph(table4.declare_tasks(circuits=("fpu",), scale=SCALE))
+    runner.prefetch(graph, jobs=2, worker_faults=(fail,))
+    rows_par = table4.run(circuits=("fpu",), scale=SCALE)
+    par_errors = [e.summary() for e in runner.session_errors()]
+
+    assert rows_seq == rows_par
+    assert seq_errors == par_errors
+
+
+def test_keep_going_reraises_non_repro_worker_failure():
+    # Sequentially a ValueError aborts row assembly even under
+    # keep-going (only ReproError degrades); the same bug on a worker
+    # must abort too, not hide as an error row.
+    bug = faults.FaultSpec(stage="layout", factory=_bug_factory,
+                           times=faults.ALWAYS)
+    runner.set_keep_going(True)
+    graph = TaskGraph(table4.declare_tasks(circuits=("fpu",), scale=SCALE))
+    runner.prefetch(graph, jobs=2, worker_faults=(bug,))
+
+    with pytest.raises(TaskFailedError) as excinfo:
+        table4.run(circuits=("fpu",), scale=SCALE)
+    assert excinfo.value.worker_is_repro is False
+    assert excinfo.value.worker_error == "ValueError"
+    assert not runner.session_errors()
