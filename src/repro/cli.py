@@ -4,6 +4,10 @@ Commands
 --------
 compare CIRCUIT        iso-performance 2D vs T-MI comparison (Table 4 row)
 experiment ID          regenerate one paper table/figure (e.g. table4, fig3)
+trace ID               run one experiment under the span tracer; print a
+                       per-stage/per-kernel summary (default), the full
+                       trace as JSON (``--json``), or write a Chrome
+                       ``traceEvents`` file (``--chrome PATH``)
 bench [ID ...]         regenerate several tables/figures as one session,
                        deduplicating and (with --jobs) parallelizing the
                        shared flow runs
@@ -40,6 +44,12 @@ Session flags (before the command)
 --checkpoint-dir PATH  where the checkpoint store lives (default:
                        ``$REPRO_CHECKPOINT_DIR`` or
                        ``~/.cache/repro/checkpoints``)
+--profile              trace and profile the invocation: per-stage
+                       wall/CPU/peak-RSS table after the command output,
+                       plus flow metrics and the trace digest; parallel
+                       sessions merge every worker into one trace
+--trace-out PATH       write the invocation's Chrome ``traceEvents``
+                       trace to PATH (implies tracing on)
 """
 
 from __future__ import annotations
@@ -52,6 +62,9 @@ from typing import List, Optional
 from repro.errors import ReproError
 from repro.experiments import EXPERIMENTS
 from repro.flow.reports import format_table
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
 
 # Default experiment set for `repro bench`: the group that shares the
 # five 45 nm comparisons (the session with the most dedup to exploit).
@@ -128,6 +141,84 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return _report_session_errors()
 
 
+def _print_obs_summary(tracer: obs_trace.Tracer,
+                       registry: obs_metrics.MetricsRegistry,
+                       profiler: obs_profile.Profiler) -> None:
+    """The human-facing observability readout (``--profile``, ``trace``)."""
+    from repro.flow.design_flow import FLOW_STAGES
+
+    rows = profiler.stage_table(order=FLOW_STAGES)
+    if rows:
+        print(format_table(rows, "per-stage profile"))
+        print()
+    kernels = tracer.totals("kernel")
+    if kernels:
+        print(format_table(
+            [{"kernel": name, "total (s)": round(total, 3)}
+             for name, total in sorted(kernels.items())],
+            "hot kernels"))
+        print()
+    counters = registry.snapshot()["counters"]
+    if counters:
+        print(format_table(
+            [{"metric": name, "value": value}
+             for name, value in sorted(counters.items())],
+            "flow metrics"))
+        print()
+    print(f"trace: {len(tracer.snapshot())} span(s), "
+          f"digest {tracer.digest()[:16]}")
+
+
+def _write_chrome_trace(tracer: obs_trace.Tracer, path: str) -> None:
+    import json
+
+    with open(path, "w") as stream:
+        json.dump(tracer.to_chrome_trace(), stream, indent=2,
+                  sort_keys=True)
+        stream.write("\n")
+    print(f"wrote Chrome trace to {path} "
+          f"(open at https://ui.perfetto.dev)", file=sys.stderr)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment under a fresh tracer/registry/profiler."""
+    import json
+
+    key = args.id.lower().replace(" ", "")
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(f"unknown experiment {args.id!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    with obs_trace.use_tracer(obs_trace.Tracer()) as tracer, \
+            obs_metrics.use_metrics(
+                obs_metrics.MetricsRegistry()) as registry, \
+            obs_profile.use_profiler(obs_profile.Profiler()) as profiler:
+        if args.jobs > 1:
+            _prefetch_for([key], args.jobs)
+        if args.json:
+            # Pure-JSON stdout: run silently, emit one document.
+            module = importlib.import_module(
+                f"repro.experiments.{EXPERIMENTS[key]}")
+            module.run()
+        else:
+            _run_one_experiment(key)
+            print()
+        profiler.close()
+        if args.json:
+            print(json.dumps({
+                "experiment": key,
+                "trace": tracer.to_dict(),
+                "metrics": registry.snapshot(),
+                "profile": profiler.rows(),
+            }, indent=2, sort_keys=True))
+        else:
+            _print_obs_summary(tracer, registry, profiler)
+        if args.chrome:
+            _write_chrome_trace(tracer, args.chrome)
+    return _report_session_errors()
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Regenerate several experiments as one deduplicated session."""
     import hashlib
@@ -168,6 +259,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "engine": (engine_report.to_dict()
                        if engine_report is not None else None),
         }
+        tracer = obs_trace.current_tracer()
+        profiler = obs_profile.current_profiler()
+        if tracer.enabled:
+            payload["trace_digest"] = tracer.digest()
+            payload["kernels"] = {
+                name: round(total, 6)
+                for name, total in sorted(tracer.totals("kernel").items())}
+        if profiler.enabled:
+            from repro.flow.design_flow import FLOW_STAGES
+
+            payload["profile"] = profiler.stage_table(order=FLOW_STAGES)
         with open(args.report, "w") as stream:
             json.dump(payload, stream, indent=2, sort_keys=True)
             stream.write("\n")
@@ -346,6 +448,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="checkpoint store directory (default: "
                              "$REPRO_CHECKPOINT_DIR or "
                              "~/.cache/repro/checkpoints)")
+    parser.add_argument("--profile", action="store_true",
+                        help="trace and profile the invocation; prints a "
+                             "per-stage wall/CPU/RSS table and flow "
+                             "metrics after the command output")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the invocation's Chrome traceEvents "
+                             "file to PATH (implies tracing on)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compare", help="iso-performance 2D vs T-MI run")
@@ -361,6 +470,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="regenerate a paper table/figure")
     p.add_argument("id", help="e.g. table4, fig3")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("trace",
+                       help="run one experiment under the span tracer "
+                            "and summarize (or export) the trace")
+    p.add_argument("id", help="e.g. table4, fig3")
+    p.add_argument("--json", action="store_true",
+                   help="print the full trace document (spans, metrics, "
+                        "profile) as JSON on stdout instead of tables")
+    p.add_argument("--chrome", default=None, metavar="PATH",
+                   help="also write the Chrome traceEvents file to PATH")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("bench",
                        help="regenerate several tables/figures as one "
@@ -443,7 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _configure_runtime(args: argparse.Namespace):
     """Apply the resilience flags; returns a context for the invocation."""
-    from contextlib import nullcontext
+    from contextlib import ExitStack
 
     from repro.experiments import runner
     from repro.runtime.checkpoint import CheckpointStore
@@ -467,10 +587,33 @@ def _configure_runtime(args: argparse.Namespace):
         runner.use_persistent_cache(args.checkpoint_dir)
     else:
         runner.disable_persistent_cache()
+    stack = ExitStack()
     if args.timeout is not None:
-        return use_supervisor(StageSupervisor(
-            default_policy=StagePolicy(timeout_s=args.timeout)))
-    return nullcontext()
+        stack.enter_context(use_supervisor(StageSupervisor(
+            default_policy=StagePolicy(timeout_s=args.timeout))))
+    if args.profile or args.trace_out:
+        tracer = stack.enter_context(obs_trace.use_tracer(
+            obs_trace.Tracer()))
+        registry = stack.enter_context(obs_metrics.use_metrics(
+            obs_metrics.MetricsRegistry()))
+        profiler = stack.enter_context(obs_profile.use_profiler(
+            obs_profile.Profiler()))
+        # LIFO: runs when the command is done, before the contexts pop.
+        stack.callback(_finish_observability, args, tracer, registry,
+                       profiler)
+    return stack
+
+
+def _finish_observability(args: argparse.Namespace,
+                          tracer: obs_trace.Tracer,
+                          registry: obs_metrics.MetricsRegistry,
+                          profiler: obs_profile.Profiler) -> None:
+    profiler.close()
+    if args.profile:
+        print()
+        _print_obs_summary(tracer, registry, profiler)
+    if args.trace_out:
+        _write_chrome_trace(tracer, args.trace_out)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -61,6 +61,11 @@ from repro.timing.sta import TimingAnalyzer
 
 logger = logging.getLogger(__name__)
 
+# Supervised stage order of one flow run — the canonical row order for
+# profile tables (`repro --profile`) and per-stage engine reports.
+FLOW_STAGES = ("prepare", "synthesis", "layout", "post_route", "signoff",
+               "power", "audit")
+
 # Congestion fallback: utilization multiplier per retry, max retries, and
 # the busiest-tile overflow ratio that triggers a retry.
 CONGESTION_UTIL_STEP = 0.65

@@ -39,6 +39,7 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -49,6 +50,10 @@ from repro.errors import (
     TaskFailedError,
     WorkerCrashError,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
+from repro.obs.trace import TraceBundle
 from repro.parallel.plan import (
     KIND_COMPARISON,
     KIND_FLOW,
@@ -63,7 +68,7 @@ from repro.parallel.report import (
     EngineReport,
     TaskRecord,
 )
-from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.checkpoint import CheckpointStore, config_key
 
 logger = logging.getLogger(__name__)
 
@@ -78,6 +83,10 @@ class WorkerContext:
     schema_version: int
     fault_specs: Tuple = ()           # repro.runtime.faults.FaultSpec, ...
     fault_label_filter: Optional[str] = None
+    # Observability: when the parent session runs traced/profiled, each
+    # worker records into its own tracer/registry/profiler and ships a
+    # TraceBundle home through the store (see _execute_task).
+    trace_enabled: bool = False
 
 
 _CONTEXT: Optional[WorkerContext] = None
@@ -106,14 +115,46 @@ def _compute(spec: TaskSpec) -> object:
     raise ValueError(f"unknown task kind: {spec.kind!r}")
 
 
+def _trace_key(task_key: str) -> str:
+    """Store key of a task's :class:`TraceBundle`, next to its result."""
+    return config_key("trace", task_key)
+
+
+def _stage_walls(journal, mark: int) -> Dict[str, float]:
+    """Per-stage wall time from the journal records a task appended."""
+    walls: Dict[str, float] = {}
+    for record in journal.records[mark:]:
+        walls[record.stage] = walls.get(record.stage, 0.0) \
+            + record.wall_time_s
+    return walls
+
+
+def _ship_bundle(store: CheckpointStore, spec: TaskSpec,
+                 tracer: obs_trace.Tracer,
+                 registry: obs_metrics.MetricsRegistry,
+                 profiler: obs_profile.Profiler,
+                 stages: Dict[str, float]) -> None:
+    """Export this task's spans/metrics/profile and store them."""
+    bundle = tracer.export_bundle(label=spec.label)
+    bundle.metrics = registry.snapshot()
+    bundle.profile = profiler.rows()
+    bundle.stages = stages
+    profiler.close()
+    store.try_store(_trace_key(spec.key), bundle)
+
+
 def _execute_task(spec: TaskSpec) -> Dict[str, object]:
     """Run one task in a worker; returns metadata, not the result.
 
     The result crosses the process boundary through the checkpoint store;
     only if the store write fails is the value shipped back inline so a
-    computed run is never discarded.
+    computed run is never discarded.  Under observability the task runs
+    against a fresh tracer/registry/profiler and ships a
+    :class:`TraceBundle` home through the store as well — the parent
+    merges the bundles into one session trace after the run.
     """
     from repro.runtime import faults
+    from repro.runtime.supervisor import current_supervisor
 
     context = _CONTEXT
     store = _STORE
@@ -131,13 +172,24 @@ def _execute_task(spec: TaskSpec) -> Dict[str, object]:
             context.fault_label_filter is None
             or context.fault_label_filter in spec.label):
         plan = faults.install(faults.FaultPlan(list(context.fault_specs)))
+    journal = current_supervisor().journal
+    mark = len(journal.records)
+    obs = ExitStack()
+    tracer = registry = profiler = None
+    if context.trace_enabled:
+        tracer = obs.enter_context(obs_trace.use_tracer(obs_trace.Tracer()))
+        registry = obs.enter_context(
+            obs_metrics.use_metrics(obs_metrics.MetricsRegistry()))
+        profiler = obs.enter_context(
+            obs_profile.use_profiler(obs_profile.Profiler()))
     try:
         value = _compute(spec)
     except ReproError as exc:
         base.update(status=STATUS_FAILED, cached=False, stored=False,
                     error=type(exc).__name__, message=str(exc),
                     repro_error=True,
-                    wall_s=time.perf_counter() - start)
+                    wall_s=time.perf_counter() - start,
+                    stages=_stage_walls(journal, mark))
         return base
     except Exception as exc:
         # A non-Repro exception is a genuine bug.  Contain it to the same
@@ -147,15 +199,21 @@ def _execute_task(spec: TaskSpec) -> Dict[str, object]:
         base.update(status=STATUS_FAILED, cached=False, stored=False,
                     error=type(exc).__name__, message=str(exc),
                     repro_error=False,
-                    wall_s=time.perf_counter() - start)
+                    wall_s=time.perf_counter() - start,
+                    stages=_stage_walls(journal, mark))
         return base
     finally:
+        obs.close()
+        if tracer is not None:
+            _ship_bundle(store, spec, tracer, registry, profiler,
+                         _stage_walls(journal, mark))
         if plan is not None:
             faults.reset()
 
     stored = store.try_store(spec.key, value) is not None
     base.update(status=STATUS_OK, cached=False, stored=stored,
-                wall_s=time.perf_counter() - start)
+                wall_s=time.perf_counter() - start,
+                stages=_stage_walls(journal, mark))
     if not stored:
         base["value"] = value
     return base
@@ -257,6 +315,8 @@ class ParallelEngine:
                     "deferred", "PlanError",
                     f"unresolvable deferred tasks; missing bases: {unmet}")
 
+        self._merge_observability(records)
+
         return EngineReport(
             jobs=self.jobs,
             wall_s=time.perf_counter() - start,
@@ -272,7 +332,37 @@ class ParallelEngine:
             schema_version=self.store.schema_version,
             fault_specs=self.worker_faults,
             fault_label_filter=self.fault_label_filter,
+            trace_enabled=(obs_trace.current_tracer().enabled
+                           or obs_metrics.current_metrics().enabled
+                           or obs_profile.current_profiler().enabled),
         )
+
+    def _merge_observability(self, records: Dict[str, TaskRecord]) -> None:
+        """Fold worker trace bundles into the session's observability.
+
+        Bundles are merged sorted by task key, so the merged trace — and
+        its structural digest — is independent of completion order and of
+        how tasks landed on workers.  A cache-hit task whose bundle is
+        still in the store contributes the spans of the run that computed
+        it, keeping traced resumes digest-comparable.
+        """
+        tracer = obs_trace.current_tracer()
+        registry = obs_metrics.current_metrics()
+        profiler = obs_profile.current_profiler()
+        if not (tracer.enabled or registry.enabled or profiler.enabled):
+            return
+        for key in sorted(records):
+            record = records[key]
+            bundle = self.store.load(_trace_key(key))
+            if not isinstance(bundle, TraceBundle):
+                continue
+            tracer.merge_bundle(bundle,
+                                container_name=f"task:{record.label}",
+                                task=record.label, kind=record.kind)
+            registry.merge_snapshot(bundle.metrics)
+            profiler.merge_rows(bundle.profile)
+            if not record.stages and bundle.stages:
+                record.stages = dict(bundle.stages)
 
     def _warm_libraries(self, pending: Dict[str, _PendingTask]) -> None:
         """Pre-build the cell libraries the batch needs in the parent.
@@ -312,6 +402,7 @@ class ParallelEngine:
             error=payload.get("error"),
             message=str(payload.get("message", "")),
             repro_error=bool(payload.get("repro_error", True)),
+            stages=dict(payload.get("stages") or {}),
         )
 
     def _run_batch(self, pending: Dict[str, _PendingTask],

@@ -37,6 +37,10 @@ class TaskRecord:
     error: Optional[str] = None    # exception class name, failures only
     message: str = ""
     repro_error: bool = True       # failure was a ReproError (vs a bug)
+    # Supervised-stage wall time inside this task (stage -> seconds,
+    # summed over attempts and, for comparisons, over both runs); empty
+    # for cache hits that carried no stored trace bundle.
+    stages: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -52,6 +56,8 @@ class TaskRecord:
             "error": self.error,
             "message": self.message,
             "repro_error": self.repro_error,
+            "stages": {s: round(w, 6)
+                       for s, w in sorted(self.stages.items())},
         }
 
 
@@ -103,6 +109,18 @@ class EngineReport:
             return 0.0
         return self.total_task_s / self.wall_s
 
+    def stage_totals(self) -> Dict[str, float]:
+        """Summed supervised wall time per stage across every record.
+
+        Resolves the utilization numbers by flow stage — which stages the
+        workers actually spent their busy time in, not just task totals.
+        """
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            for stage, wall in record.stages.items():
+                totals[stage] = totals.get(stage, 0.0) + wall
+        return totals
+
     # -- serialization -----------------------------------------------------
 
     def summary(self) -> Dict[str, object]:
@@ -116,6 +134,8 @@ class EngineReport:
             "total_task_s": round(self.total_task_s, 3),
             "utilization": round(self.utilization, 4),
             "effective_speedup": round(self.effective_speedup, 3),
+            "stages": {s: round(w, 6)
+                       for s, w in sorted(self.stage_totals().items())},
         }
 
     def to_dict(self) -> Dict[str, object]:

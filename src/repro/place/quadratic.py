@@ -21,6 +21,8 @@ from scipy.sparse.linalg import cg
 
 from repro.errors import PlacementError
 from repro.circuits.netlist import Module, PIN_DRIVER, PO_SINK
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import kernel
 from repro.place.floorplan import Floorplan
 
 # Star-model weight per net: 1 / (pins - 1), the usual clique/star scaling.
@@ -257,19 +259,32 @@ def place_global(module: Module, library, floorplan: Floorplan
     spreading, then median-improvement rounds (linear-wirelength local
     refinement) each followed by a spreading pass to restore density.
     """
-    x, y = quadratic_solve(module, floorplan)
-    x, y = spread(module, library, floorplan, x, y)
-    for hold in HOLD_WEIGHTS:
-        x, y = quadratic_solve(module, floorplan, anchor_x=x, anchor_y=y,
-                               anchor_weight=hold)
+    iterations = obs_metrics.counter("placer.iterations")
+    with kernel("place.quadratic_solve"):
+        x, y = quadratic_solve(module, floorplan)
+    with kernel("place.spread"):
         x, y = spread(module, library, floorplan, x, y)
+    iterations.inc()
+    for hold in HOLD_WEIGHTS:
+        with kernel("place.quadratic_solve", hold=hold):
+            x, y = quadratic_solve(module, floorplan, anchor_x=x,
+                                   anchor_y=y, anchor_weight=hold)
+        with kernel("place.spread"):
+            x, y = spread(module, library, floorplan, x, y)
+        iterations.inc()
     adjacency = _cell_pin_adjacency(module, floorplan)
     for _ in range(MEDIAN_ROUNDS):
-        median_sweep(module, floorplan, x, y, adjacency,
-                     MEDIAN_SWEEPS_PER_ROUND)
-        x, y = spread(module, library, floorplan, x, y)
+        with kernel("place.median_sweep"):
+            median_sweep(module, floorplan, x, y, adjacency,
+                         MEDIAN_SWEEPS_PER_ROUND)
+        with kernel("place.spread"):
+            x, y = spread(module, library, floorplan, x, y)
+        iterations.inc()
     # One final gentle median pass; the closing spread restores the
     # uniform density the Tetris legalizer needs.
-    median_sweep(module, floorplan, x, y, adjacency, 1)
-    x, y = spread(module, library, floorplan, x, y)
+    with kernel("place.median_sweep"):
+        median_sweep(module, floorplan, x, y, adjacency, 1)
+    with kernel("place.spread"):
+        x, y = spread(module, library, floorplan, x, y)
+    iterations.inc()
     return x, y

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.circuits.netlist import Module, Net
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import kernel
 from repro.place.floorplan import Floorplan
 from repro.route.grid import RoutingGrid
 from repro.route.steiner import rsmt_edges, rsmt_length_um, MAX_EXACT_PINS
@@ -140,13 +142,14 @@ class GlobalRouter:
         # Pass 1: topologies and preferred classes.
         net_length: Dict[int, float] = {}
         net_points: Dict[int, List[Tuple[float, float]]] = {}
-        for net in module.nets:
-            if net.is_clock and not include_clock:
-                continue
-            points = self._net_points(module, net)
-            length = rsmt_length_um(points)
-            net_length[net.index] = length
-            net_points[net.index] = points
+        with kernel("route.topology"):
+            for net in module.nets:
+                if net.is_clock and not include_clock:
+                    continue
+                points = self._net_points(module, net)
+                length = rsmt_length_um(points)
+                net_length[net.index] = length
+                net_points[net.index] = points
 
         # Layer assignment: each net first tries the class its length
         # prefers (long nets avoid the resistive local layers — the
@@ -175,41 +178,50 @@ class GlobalRouter:
                                 LayerClass.LOCAL),
         }
         fill_target = 0.85
-        for net_idx in sorted(net_length, key=net_length.get):
-            length = net_length[net_idx]
-            preferred = self._preferred_class(length)
-            chosen = None
-            for cls in spill.get(preferred, tuple(fill_order)):
-                if cls not in class_cap_total:
-                    continue
-                if (class_used[cls] + length
-                        <= class_cap_total[cls] * fill_target):
-                    chosen = cls
-                    break
-            if chosen is None:
-                # Everything is at the fill target: balance the overflow
-                # across classes by current fill ratio.
-                chosen = min(fill_order,
-                             key=lambda c: class_used[c]
-                             / class_cap_total[c])
-            assignment[net_idx] = chosen
-            class_used[chosen] += length
+        spills = obs_metrics.counter("router.spills")
+        ripups = obs_metrics.counter("router.ripups")
+        with kernel("route.layer_assign"):
+            for net_idx in sorted(net_length, key=net_length.get):
+                length = net_length[net_idx]
+                preferred = self._preferred_class(length)
+                chosen = None
+                for cls in spill.get(preferred, tuple(fill_order)):
+                    if cls not in class_cap_total:
+                        continue
+                    if (class_used[cls] + length
+                            <= class_cap_total[cls] * fill_target):
+                        chosen = cls
+                        break
+                if chosen is None:
+                    # Everything is at the fill target: balance the
+                    # overflow across classes by current fill ratio.
+                    chosen = min(fill_order,
+                                 key=lambda c: class_used[c]
+                                 / class_cap_total[c])
+                    ripups.inc()
+                elif chosen is not preferred:
+                    spills.inc()
+                assignment[net_idx] = chosen
+                class_used[chosen] += length
 
         # Pass 2: book tile demand along L-routed tree edges.
-        for net_idx, points in net_points.items():
-            if len(points) < 2:
-                continue
-            cls = assignment[net_idx]
-            if cls not in grid.tile_capacity_um:
-                continue
-            if len(points) <= MAX_EXACT_PINS:
-                for a, b in rsmt_edges(points):
-                    grid.add_edge_demand(cls, points[a][0], points[a][1],
-                                         points[b][0], points[b][1])
-            else:
-                xs = [p[0] for p in points]
-                ys = [p[1] for p in points]
-                grid.add_edge_demand(cls, min(xs), min(ys), max(xs), max(ys))
+        with kernel("route.tile_demand"):
+            for net_idx, points in net_points.items():
+                if len(points) < 2:
+                    continue
+                cls = assignment[net_idx]
+                if cls not in grid.tile_capacity_um:
+                    continue
+                if len(points) <= MAX_EXACT_PINS:
+                    for a, b in rsmt_edges(points):
+                        grid.add_edge_demand(cls, points[a][0],
+                                             points[a][1],
+                                             points[b][0], points[b][1])
+                else:
+                    xs = [p[0] for p in points]
+                    ys = [p[1] for p in points]
+                    grid.add_edge_demand(cls, min(xs), min(ys),
+                                         max(xs), max(ys))
 
         # Per-class detour factors from that class's peak overflow.
         detour_by_class: Dict[LayerClass, float] = {}
@@ -224,17 +236,18 @@ class GlobalRouter:
         by_class: Dict[LayerClass, float] = {
             cls: 0.0 for cls in class_cap_total}
         total = 0.0
-        for net_idx, base_len in net_length.items():
-            cls = assignment[net_idx]
-            length = base_len * detour_by_class.get(cls, 1.0)
-            rc = self.interconnect.class_rc(cls) \
-                if cls in grid.tile_capacity_um \
-                else self.interconnect.class_rc(LayerClass.LOCAL)
-            lengths[net_idx] = length
-            res[net_idx] = length * rc.resistance_kohm_per_um
-            cap[net_idx] = length * rc.capacitance_ff_per_um
-            by_class[cls] = by_class.get(cls, 0.0) + length
-            total += length
+        with kernel("route.rc_annotate"):
+            for net_idx, base_len in net_length.items():
+                cls = assignment[net_idx]
+                length = base_len * detour_by_class.get(cls, 1.0)
+                rc = self.interconnect.class_rc(cls) \
+                    if cls in grid.tile_capacity_um \
+                    else self.interconnect.class_rc(LayerClass.LOCAL)
+                lengths[net_idx] = length
+                res[net_idx] = length * rc.resistance_kohm_per_um
+                cap[net_idx] = length * rc.capacitance_ff_per_um
+                by_class[cls] = by_class.get(cls, 0.0) + length
+                total += length
 
         # MB1 usage for T-MI: the shortest nets dip to the bottom tier.
         mb1_len = 0.0

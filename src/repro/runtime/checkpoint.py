@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional
 
 from repro.errors import CheckpointError
+from repro.obs import metrics as obs_metrics
 
 logger = logging.getLogger(__name__)
 
@@ -188,6 +189,7 @@ class CheckpointStore:
         """
         path = self.path_for(key)
         if not path.exists():
+            obs_metrics.counter("checkpoint.misses").inc()
             return None
         try:
             with open(path, "rb") as stream:
@@ -198,16 +200,21 @@ class CheckpointStore:
                 logger.info("checkpoint %s has schema v%s (want v%s); "
                             "ignoring", path, wrapper.get("schema_version"),
                             self.schema_version)
+                obs_metrics.counter("checkpoint.misses").inc()
                 return None
             payload = wrapper["payload"]
             if hashlib.sha256(payload).hexdigest() != wrapper["sha256"]:
                 raise CheckpointError(f"checksum mismatch in {path}")
-            return pickle.loads(payload)
+            value = pickle.loads(payload)
+            obs_metrics.counter("checkpoint.hits").inc()
+            return value
         except CheckpointError as exc:
             self._quarantine(path, str(exc))
+            obs_metrics.counter("checkpoint.misses").inc()
             return None
         except Exception as exc:
             self._quarantine(path, f"unreadable checkpoint: {exc}")
+            obs_metrics.counter("checkpoint.misses").inc()
             return None
 
     def _quarantine(self, path: Path, reason: str) -> None:

@@ -36,6 +36,9 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.check.findings import AuditFinding
 from repro.errors import RetryExhaustedError, StageTimeoutError
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
 from repro.runtime import faults
 
 logger = logging.getLogger(__name__)
@@ -146,7 +149,9 @@ class RunJournal:
 
 
 def _run_with_timeout(name: str, fn: Callable[[], object],
-                      timeout_s: Optional[float]) -> object:
+                      timeout_s: Optional[float],
+                      tracer: Optional["obs_trace.Tracer"] = None,
+                      parent: Optional["obs_trace.Span"] = None) -> object:
     """Run ``fn`` (optionally on a worker thread with a deadline)."""
     if timeout_s is None:
         return fn()
@@ -154,7 +159,13 @@ def _run_with_timeout(name: str, fn: Callable[[], object],
 
     def worker() -> None:
         try:
-            box["result"] = fn()
+            if tracer is not None and tracer.enabled:
+                # Keep kernel spans opened on this thread parented to
+                # the attempt span instead of becoming trace roots.
+                with tracer.attach(parent):
+                    box["result"] = fn()
+            else:
+                box["result"] = fn()
         except BaseException as exc:       # re-raised on the caller thread
             box["error"] = exc
 
@@ -205,6 +216,9 @@ class StageSupervisor:
 
     def record_findings(self, findings) -> None:
         """Journal audit findings, tagged with the current run label."""
+        findings = list(findings)
+        if findings:
+            obs_metrics.counter("audit.findings").inc(len(findings))
         for finding in findings:
             if self._run_label and not finding.run:
                 finding = AuditFinding(
@@ -261,43 +275,73 @@ class StageSupervisor:
             faults.check(stage, "after", result)
             return result
 
+        tracer = obs_trace.current_tracer()
+        profiler = obs_profile.current_profiler()
         for attempt in range(1, attempts + 1):
             start = time.perf_counter()
-            try:
-                result = _run_with_timeout(stage, body, policy.timeout_s)
-            except StageTimeoutError as exc:
-                wall = time.perf_counter() - start
-                last_exc = exc
-                retryable = StageTimeoutError in policy.retry_on or \
-                    any(issubclass(StageTimeoutError, cls)
-                        for cls in policy.retry_on)
-                self._note(stage, attempt, "timeout", wall, exc)
-                if not retryable or attempt >= attempts:
-                    raise
-                self._between_attempts(policy, attempt, exc, on_retry)
-            except policy.retry_on as exc:    # type: ignore[misc]
-                wall = time.perf_counter() - start
-                last_exc = exc
-                if attempt >= attempts:
-                    partial = getattr(exc, "partial", None)
-                    if policy.degrade and partial is not None:
-                        self._note(stage, attempt, "degraded", wall, exc)
-                        logger.warning(
-                            "stage %s degraded after %d attempt(s): %s",
-                            stage, attempt, exc)
-                        return partial
+            with tracer.span(f"stage:{stage}", category="stage",
+                             stage=stage, attempt=attempt,
+                             run=self._run_label) as span, \
+                    profiler.sample(stage, run=self._run_label,
+                                    attempt=attempt):
+                try:
+                    result = _run_with_timeout(stage, body,
+                                               policy.timeout_s,
+                                               tracer=tracer, parent=span)
+                except StageTimeoutError as exc:
+                    wall = time.perf_counter() - start
+                    last_exc = exc
+                    retryable = StageTimeoutError in policy.retry_on or \
+                        any(issubclass(StageTimeoutError, cls)
+                            for cls in policy.retry_on)
+                    self._note(stage, attempt, "timeout", wall, exc)
+                    span.set("outcome", "timeout")
+                    span.event("timeout", timeout_s=policy.timeout_s)
+                    obs_metrics.counter("supervisor.timeouts").inc()
+                    if not retryable or attempt >= attempts:
+                        raise
+                    span.event("retry", error=type(exc).__name__,
+                               next_attempt=attempt + 1)
+                    obs_metrics.counter("supervisor.retries").inc()
+                    self._between_attempts(policy, attempt, exc, on_retry)
+                except policy.retry_on as exc:    # type: ignore[misc]
+                    wall = time.perf_counter() - start
+                    last_exc = exc
+                    if attempt >= attempts:
+                        partial = getattr(exc, "partial", None)
+                        if policy.degrade and partial is not None:
+                            self._note(stage, attempt, "degraded", wall,
+                                       exc)
+                            span.set("outcome", "degraded")
+                            span.event("degraded",
+                                       error=type(exc).__name__)
+                            logger.warning(
+                                "stage %s degraded after %d attempt(s): "
+                                "%s", stage, attempt, exc)
+                            return partial
+                        self._note(stage, attempt, "error", wall, exc)
+                        span.set("outcome", "error")
+                        span.set("error", type(exc).__name__)
+                        raise RetryExhaustedError(stage, attempt,
+                                                  exc) from exc
+                    self._note(stage, attempt, "retried", wall, exc)
+                    span.set("outcome", "retried")
+                    span.event("retry", error=type(exc).__name__,
+                               next_attempt=attempt + 1)
+                    obs_metrics.counter("supervisor.retries").inc()
+                    self._between_attempts(policy, attempt, exc, on_retry)
+                except Exception as exc:
+                    wall = time.perf_counter() - start
                     self._note(stage, attempt, "error", wall, exc)
-                    raise RetryExhaustedError(stage, attempt, exc) from exc
-                self._note(stage, attempt, "retried", wall, exc)
-                self._between_attempts(policy, attempt, exc, on_retry)
-            except Exception as exc:
-                wall = time.perf_counter() - start
-                self._note(stage, attempt, "error", wall, exc)
-                raise
-            else:
-                wall = time.perf_counter() - start
-                self._note(stage, attempt, "ok", wall, None)
-                return result
+                    span.set("outcome", "error")
+                    span.set("error", type(exc).__name__)
+                    raise
+                else:
+                    wall = time.perf_counter() - start
+                    self._note(stage, attempt, "ok", wall, None)
+                    span.set("outcome", "ok")
+                    obs_metrics.histogram("stage.wall_s").observe(wall)
+                    return result
         # Unreachable: every loop path returns or raises.
         raise RetryExhaustedError(stage, attempts, last_exc)
 

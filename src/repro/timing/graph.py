@@ -12,6 +12,7 @@ from typing import List, Set
 
 from repro.errors import TimingError
 from repro.circuits.netlist import Module, PIN_DRIVER
+from repro.obs import metrics as obs_metrics
 
 
 def levelize(module: Module, library) -> List[int]:
@@ -20,6 +21,7 @@ def levelize(module: Module, library) -> List[int]:
     Sequential cells are excluded: their Q pins act as sources with known
     availability, their D pins as sinks.
     """
+    obs_metrics.counter("sta.levelization_passes").inc()
     is_seq = [library.cell(inst.cell_name).is_sequential
               for inst in module.instances]
     # In-degree = number of input nets driven by combinational cells.

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import TimingError
 from repro.circuits.netlist import Module, Net, PO_SINK
+from repro.obs.trace import kernel
 from repro.timing.graph import levelize
 from repro.timing.netmodel import NetModel
 
@@ -108,7 +109,8 @@ class TimingAnalyzer:
     def run(self) -> TimingReport:
         module = self.module
         library = self.library
-        order = levelize(module, library)
+        with kernel("sta.levelize"):
+            order = levelize(module, library)
         is_seq = [library.cell(i.cell_name).is_sequential
                   for i in module.instances]
 
@@ -145,31 +147,32 @@ class TimingAnalyzer:
                     slew[net_idx] = wire_s
 
         # Combinational propagation.
-        for inst_idx in order:
-            inst = module.instances[inst_idx]
-            cell = library.cell(inst.cell_name)
-            in_arrival = 0.0
-            in_slew = self.input_slew_ps
-            for pin_name, net_idx in inst.pin_nets.items():
-                if cell.pin(pin_name).direction.value != "input":
-                    continue
-                a = arrival.get(net_idx, 0.0)
-                if a >= in_arrival:
-                    in_arrival = a
-                    in_slew = slew.get(net_idx, self.input_slew_ps)
-            for pin_name, net_idx in inst.pin_nets.items():
-                if cell.pin(pin_name).direction.value != "output":
-                    continue
-                net = module.nets[net_idx]
-                load = self.net_load_ff(net)
-                loads[net_idx] = load
-                d = cell.delay_ps(in_slew, load)
-                s = cell.output_slew_ps(in_slew, load)
-                wire_d, wire_s = self._wire_delay_slew(net, s)
-                a = in_arrival + d + wire_d
-                if a > arrival.get(net_idx, -1.0):
-                    arrival[net_idx] = a
-                    slew[net_idx] = wire_s
+        with kernel("sta.propagate", instances=len(order)):
+            for inst_idx in order:
+                inst = module.instances[inst_idx]
+                cell = library.cell(inst.cell_name)
+                in_arrival = 0.0
+                in_slew = self.input_slew_ps
+                for pin_name, net_idx in inst.pin_nets.items():
+                    if cell.pin(pin_name).direction.value != "input":
+                        continue
+                    a = arrival.get(net_idx, 0.0)
+                    if a >= in_arrival:
+                        in_arrival = a
+                        in_slew = slew.get(net_idx, self.input_slew_ps)
+                for pin_name, net_idx in inst.pin_nets.items():
+                    if cell.pin(pin_name).direction.value != "output":
+                        continue
+                    net = module.nets[net_idx]
+                    load = self.net_load_ff(net)
+                    loads[net_idx] = load
+                    d = cell.delay_ps(in_slew, load)
+                    s = cell.output_slew_ps(in_slew, load)
+                    wire_d, wire_s = self._wire_delay_slew(net, s)
+                    a = in_arrival + d + wire_d
+                    if a > arrival.get(net_idx, -1.0):
+                        arrival[net_idx] = a
+                        slew[net_idx] = wire_s
 
         # Endpoints.
         endpoint_slack: Dict[Tuple[int, str], float] = {}

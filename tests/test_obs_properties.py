@@ -1,0 +1,292 @@
+"""Property tests for the observability layer (seeded, stdlib random).
+
+The span model is checked structurally over randomly generated trees
+driven by a fake clock: children nest inside their parents, same-thread
+siblings never overlap, a parent's duration covers its children's, and
+the structural digest is invariant under timing jitter and merge order
+but sensitive to structure.  Metrics properties cover counter
+monotonicity, histogram bucket conservation, and snapshot merging.  The
+no-op layer is checked for identity (zero allocation on hot paths).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    NULL_PROFILER,
+    NULL_TRACER,
+    MetricsRegistry,
+    Profiler,
+    Tracer,
+    current_metrics,
+    current_profiler,
+    current_tracer,
+    kernel,
+    observability_on,
+    use_tracer,
+)
+from repro.obs.metrics import DEFAULT_BOUNDS, Histogram
+from repro.obs.trace import _NULL_SPAN_CONTEXT
+
+SEEDS = (11, 23, 47)
+
+
+class FakeClock:
+    """A controllable monotonic clock for deterministic span timings."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def build_random_trace(rng: random.Random, tracer: Tracer,
+                       clock: FakeClock, depth: int = 0) -> None:
+    """Grow one random span subtree, advancing the clock as it goes."""
+    n_children = rng.randint(0, 3) if depth < 3 else 0
+    with tracer.span(f"n{rng.randint(0, 4)}", category="span",
+                     depth=depth) as span:
+        clock.advance(rng.uniform(0.001, 0.1))
+        if rng.random() < 0.3:
+            span.event("tick", value=rng.randint(0, 9))
+        for _ in range(n_children):
+            build_random_trace(rng, tracer, clock, depth + 1)
+            clock.advance(rng.uniform(0.0, 0.05))
+        clock.advance(rng.uniform(0.001, 0.1))
+
+
+def random_tracer(seed: int, jitter: float = 1.0) -> Tracer:
+    """A finished random trace; ``jitter`` scales timings, not structure."""
+    rng = random.Random(seed)
+    clock = FakeClock()
+    tracer = Tracer(clock=lambda: clock.t * jitter, wall=lambda: 0.0)
+    for _ in range(rng.randint(1, 4)):
+        build_random_trace(rng, tracer, clock)
+        clock.advance(rng.uniform(0.0, 0.2))
+    return tracer
+
+
+def _by_id(tracer: Tracer):
+    return {s.span_id: s for s in tracer.snapshot()}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_children_nest_within_parents(seed):
+    tracer = random_tracer(seed)
+    spans = _by_id(tracer)
+    assert spans, "generator must produce spans"
+    for span in spans.values():
+        if span.parent_id is None:
+            continue
+        parent = spans[span.parent_id]
+        assert span.start_us >= parent.start_us - 1e-9
+        assert span.end_us <= parent.end_us + 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_siblings_never_overlap(seed):
+    tracer = random_tracer(seed)
+    by_parent = {}
+    for span in tracer.snapshot():
+        by_parent.setdefault(span.parent_id, []).append(span)
+    for siblings in by_parent.values():
+        siblings.sort(key=lambda s: s.start_us)
+        for a, b in zip(siblings, siblings[1:]):
+            assert a.end_us <= b.start_us + 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parent_duration_covers_children(seed):
+    tracer = random_tracer(seed)
+    spans = _by_id(tracer)
+    for span in spans.values():
+        child_total = sum(c.dur_us for c in spans.values()
+                          if c.parent_id == span.span_id)
+        assert span.dur_us >= child_total - 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_digest_invariant_under_timing_jitter(seed):
+    base = random_tracer(seed, jitter=1.0)
+    jittered = random_tracer(seed, jitter=7.3)
+    assert base.digest() == jittered.digest()
+    # Timings really did change, only the structure matched.
+    assert base.snapshot()[0].dur_us != jittered.snapshot()[0].dur_us
+
+
+def test_digest_sensitive_to_structure():
+    digests = {random_tracer(seed).digest() for seed in SEEDS}
+    assert len(digests) == len(SEEDS)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_merge_is_order_independent_and_repeatable(seed):
+    bundle_a = random_tracer(seed).export_bundle(label="a")
+    bundle_b = random_tracer(seed + 1000).export_bundle(label="b")
+    bundle_a.wall_epoch_s = 5.0          # exercise the clock-offset shift
+
+    def merged(order):
+        parent = Tracer(clock=FakeClock(), wall=lambda: 0.0)
+        for name, bundle in order:
+            parent.merge_bundle(bundle, container_name=name)
+        return parent
+
+    ab = merged([("task:a", bundle_a), ("task:b", bundle_b)])
+    ba = merged([("task:b", bundle_b), ("task:a", bundle_a)])
+    assert ab.digest() == ba.digest()
+    # The offset shift moved bundle_a's spans onto the parent timeline.
+    shifted = [s for s in ab.snapshot() if s.start_us >= 5.0 * 1e6]
+    assert len(shifted) == len(bundle_a.spans) + 1   # + container span
+    # Bundle roots were re-parented under their container span.
+    containers = {s.name: s.span_id for s in ab.snapshot()
+                  if s.category == "task"}
+    assert set(containers) == {"task:a", "task:b"}
+    spans = _by_id(ab)
+    for span in ab.snapshot():
+        if span.category == "task":
+            assert span.parent_id is None
+        else:
+            assert span.parent_id in spans
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chrome_export_schema(seed):
+    tracer = random_tracer(seed)
+    doc = tracer.to_chrome_trace()
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    complete = 0
+    for event in doc["traceEvents"]:
+        assert event["ph"] in ("X", "i")
+        assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
+        if event["ph"] == "X":
+            complete += 1
+            assert event["dur"] >= 0.0
+    assert complete == len(tracer.snapshot())
+    # The document is plain JSON (round-trips through the stdlib).
+    assert json.loads(json.dumps(doc)) == doc
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_json_export_round_trips(seed):
+    tracer = random_tracer(seed)
+    doc = json.loads(tracer.to_json())
+    assert doc["n_spans"] == len(tracer.snapshot())
+    assert doc["digest"] == tracer.digest()
+
+
+# -- metrics ---------------------------------------------------------------
+
+def test_counter_is_monotonic():
+    registry = MetricsRegistry()
+    c = registry.counter("x")
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 6
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_histogram_conserves_observations(seed):
+    rng = random.Random(seed)
+    hist = Histogram("h")
+    values = [rng.uniform(0.0, 400.0) for _ in range(200)]
+    for v in values:
+        hist.observe(v)
+    assert hist.count == len(values)
+    assert sum(hist.counts) == len(values)
+    assert hist.total == pytest.approx(sum(values))
+    # Bucket invariant: a value lands in the first bucket whose upper
+    # bound is >= value (the trailing bucket is +inf).
+    bounds = hist.bounds + (float("inf"),)
+    for i, n in enumerate(hist.counts):
+        lo = bounds[i - 1] if i > 0 else float("-inf")
+        expected = sum(1 for v in values if lo < v <= bounds[i])
+        assert n == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_snapshot_merge_adds(seed):
+    rng = random.Random(seed)
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for registry in (a, b):
+        registry.counter("c").inc(rng.randint(0, 50))
+        registry.gauge("g").set(rng.random())
+        for _ in range(rng.randint(1, 30)):
+            registry.histogram("h").observe(rng.uniform(0.0, 100.0))
+    merged = MetricsRegistry()
+    merged.merge_snapshot(a.snapshot())
+    merged.merge_snapshot(b.snapshot())
+    assert merged.counter("c").value == \
+        a.counter("c").value + b.counter("c").value
+    assert merged.gauge("g").value == b.gauge("g").value   # last writer
+    assert merged.histogram("h").count == \
+        a.histogram("h").count + b.histogram("h").count
+    assert merged.histogram("h").total == pytest.approx(
+        a.histogram("h").total + b.histogram("h").total)
+    assert merged.histogram("h").counts == [
+        x + y for x, y in zip(a.histogram("h").counts,
+                              b.histogram("h").counts)]
+
+
+def test_snapshot_is_plain_json():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.histogram("h", bounds=DEFAULT_BOUNDS).observe(0.2)
+    snap = registry.snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+
+
+# -- the no-op layer -------------------------------------------------------
+
+def test_disabled_layer_is_shared_singletons():
+    """Tracing off must not allocate: every hot-path handle is shared."""
+    assert current_tracer() is NULL_TRACER
+    assert current_metrics() is NULL_METRICS
+    assert current_profiler() is NULL_PROFILER
+    assert not observability_on()
+    # One shared context manager for every span/kernel/sample request.
+    assert current_tracer().span("x") is current_tracer().span("y")
+    assert kernel("place.spread") is kernel("sta.levelize")
+    assert kernel("anything") is _NULL_SPAN_CONTEXT
+    assert NULL_METRICS.counter("a") is NULL_METRICS.counter("b")
+    assert NULL_PROFILER.sample("s1") is NULL_PROFILER.sample("s2")
+    # Null instruments accept writes and record nothing.
+    NULL_METRICS.counter("a").inc(10)
+    assert NULL_METRICS.counter("a").value == 0
+    with NULL_TRACER.span("x") as span:
+        span.set("k", 1)
+        span.event("e")
+    assert NULL_TRACER.snapshot() == []
+
+
+def test_use_tracer_scopes_installation():
+    tracer = Tracer(clock=FakeClock(), wall=lambda: 0.0)
+    with use_tracer(tracer):
+        assert current_tracer() is tracer
+        assert observability_on()
+    assert current_tracer() is NULL_TRACER
+
+
+def test_profiler_samples_wall_and_cpu():
+    profiler = Profiler()
+    with profiler.sample("layout", run="aes-2D"):
+        sum(i * i for i in range(20000))
+    rows = profiler.rows()
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["stage"] == "layout" and row["run"] == "aes-2D"
+    assert row["wall_s"] > 0.0 and row["cpu_s"] >= 0.0
+    assert row["peak_rss_kb"] > 0.0
+    table = profiler.stage_table(order=("layout",))
+    assert table[0]["stage"] == "layout" and table[0]["attempts"] == 1

@@ -1,0 +1,156 @@
+"""Supervisor <-> observability regression tests (no flows; fast).
+
+Retries, timeouts, and degradations driven by deterministic fault
+injection (:mod:`repro.runtime.faults`) must surface as annotated span
+events on the stage-attempt spans, alongside profiler samples and the
+supervisor counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError, StageTimeoutError
+from repro.obs import (
+    MetricsRegistry,
+    Profiler,
+    Tracer,
+    use_metrics,
+    use_profiler,
+    use_tracer,
+)
+from repro.obs.trace import kernel
+from repro.runtime import faults
+from repro.runtime.supervisor import (
+    RunJournal,
+    StagePolicy,
+    StageSupervisor,
+)
+
+
+@pytest.fixture()
+def obs():
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    profiler = Profiler()
+    with use_tracer(tracer), use_metrics(registry), \
+            use_profiler(profiler):
+        yield tracer, registry, profiler
+
+
+def _stage_spans(tracer, stage):
+    spans = [s for s in tracer.snapshot() if s.name == f"stage:{stage}"]
+    return sorted(spans, key=lambda s: s.attrs["attempt"])
+
+
+def test_retries_appear_as_span_events(obs):
+    tracer, registry, profiler = obs
+    supervisor = StageSupervisor(journal=RunJournal())
+    policy = StagePolicy(max_attempts=3, retry_on=(RoutingError,))
+
+    with faults.inject(faults.FaultSpec(stage="layout",
+                                        error="RoutingError", times=2)):
+        with supervisor.run_context("fpu-2D"):
+            result = supervisor.run_stage("layout", lambda: 42,
+                                          policy=policy)
+    assert result == 42
+
+    spans = _stage_spans(tracer, "layout")
+    assert [s.attrs["outcome"] for s in spans] == \
+        ["retried", "retried", "ok"]
+    assert all(s.attrs["run"] == "fpu-2D" for s in spans)
+    retry_events = [e for s in spans for e in s.events
+                    if e.name == "retry"]
+    assert len(retry_events) == 2
+    assert all(e.attrs["error"] == "RoutingError" for e in retry_events)
+    assert [e.attrs["next_attempt"] for e in retry_events] == [2, 3]
+    assert registry.counter("supervisor.retries").value == 2
+    assert registry.histogram("stage.wall_s").count == 1   # the ok attempt
+    # One profiler sample per attempt, tagged with the run label.
+    rows = profiler.rows()
+    assert [r["attempt"] for r in rows] == [1, 2, 3]
+    assert all(r["stage"] == "layout" and r["run"] == "fpu-2D"
+               for r in rows)
+
+
+def test_timeout_appears_as_span_event(obs):
+    tracer, registry, _profiler = obs
+    supervisor = StageSupervisor(journal=RunJournal())
+    policy = StagePolicy(timeout_s=0.05, max_attempts=2,
+                         retry_on=(StageTimeoutError,))
+
+    # A pure slowdown fault on the first attempt only: it trips the
+    # stage deadline, the retry then runs clean.
+    with faults.inject(faults.FaultSpec(stage="power", delay_s=0.5,
+                                        times=1)):
+        result = supervisor.run_stage("power", lambda: "done",
+                                      policy=policy)
+    assert result == "done"
+
+    spans = _stage_spans(tracer, "power")
+    assert [s.attrs["outcome"] for s in spans] == ["timeout", "ok"]
+    timeout_events = [e for e in spans[0].events if e.name == "timeout"]
+    assert len(timeout_events) == 1
+    assert timeout_events[0].attrs["timeout_s"] == pytest.approx(0.05)
+    assert any(e.name == "retry" for e in spans[0].events)
+    assert registry.counter("supervisor.timeouts").value == 1
+    assert registry.counter("supervisor.retries").value == 1
+
+
+def test_timeout_exhaustion_keeps_annotated_spans(obs):
+    tracer, registry, _profiler = obs
+    supervisor = StageSupervisor(journal=RunJournal())
+    policy = StagePolicy(timeout_s=0.05, max_attempts=1)
+
+    with faults.inject(faults.FaultSpec(stage="signoff", delay_s=0.5,
+                                        times=1)):
+        with pytest.raises(StageTimeoutError):
+            supervisor.run_stage("signoff", lambda: "never",
+                                 policy=policy)
+
+    (span,) = _stage_spans(tracer, "signoff")
+    assert span.attrs["outcome"] == "timeout"
+    assert not any(e.name == "retry" for e in span.events)
+    assert registry.counter("supervisor.timeouts").value == 1
+    assert registry.counter("supervisor.retries").value == 0
+
+
+def test_degraded_outcome_annotated(obs):
+    tracer, _registry, _profiler = obs
+    supervisor = StageSupervisor(journal=RunJournal())
+    policy = StagePolicy(max_attempts=2, retry_on=(RoutingError,),
+                         degrade=True)
+
+    def congested(result):
+        exc = RoutingError("congested")
+        exc.partial = "partial-layout"
+        return exc
+
+    with faults.inject(faults.FaultSpec(stage="layout", factory=congested,
+                                        times=faults.ALWAYS)):
+        result = supervisor.run_stage("layout", lambda: "clean",
+                                      policy=policy)
+    assert result == "partial-layout"
+
+    spans = _stage_spans(tracer, "layout")
+    assert [s.attrs["outcome"] for s in spans] == ["retried", "degraded"]
+    assert any(e.name == "degraded" for e in spans[-1].events)
+
+
+def test_kernel_spans_parented_across_timeout_thread(obs):
+    """A timed stage runs its body on a worker thread; kernel spans
+    opened there must still hang off the attempt span, not become
+    trace roots."""
+    tracer, _registry, _profiler = obs
+    supervisor = StageSupervisor(journal=RunJournal())
+    policy = StagePolicy(timeout_s=5.0)
+
+    def body():
+        with kernel("sta.levelize"):
+            return 7
+
+    assert supervisor.run_stage("signoff", body, policy=policy) == 7
+    spans = {s.name: s for s in tracer.snapshot()}
+    assert spans["sta.levelize"].parent_id == \
+        spans["stage:signoff"].span_id
+    assert spans["sta.levelize"].category == "kernel"
