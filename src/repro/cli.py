@@ -20,6 +20,15 @@ audit [CIRCUIT ...]    run the flow and every invariant check
 goldens [ID ...]       compare regenerated paper rows against the
                        checked-in golden corpus (goldens/*.json);
                        ``--update-goldens`` rewrites the corpus
+store fsck|gc|stats    maintain the on-disk checkpoint store: verify and
+                       repair entries (``fsck`` exits 0 when clean, 1
+                       when problems were repaired/quarantined, 2 on
+                       unrepairable I/O errors), evict LRU entries down
+                       to a budget (``gc``), or report inventory and
+                       reclaimable space (``stats``)
+whatif CIRCUIT         digest-diff report of a parameter change (--set
+                       KEY=VALUE) vs the base config: which flow stages
+                       would reuse their checkpoints and which recompute
 cells                  list the characterized library
 export-lib PATH        write the library as a Liberty .lib file
 export-layout CIRCUIT PATH    run the flow, write a JSON layout summary
@@ -270,7 +279,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             from repro.flow.design_flow import FLOW_STAGES
 
             payload["profile"] = profiler.stage_table(order=FLOW_STAGES)
-        with open(args.report, "w") as stream:
+        from pathlib import Path
+
+        report_path = Path(args.report)
+        if report_path.parent != Path("."):
+            report_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(report_path, "w") as stream:
             json.dump(payload, stream, indent=2, sort_keys=True)
             stream.write("\n")
         print(f"wrote session report to {args.report}", file=sys.stderr)
@@ -363,6 +377,111 @@ def _cmd_goldens(args: argparse.Namespace) -> int:
         failed = failed or not diff.ok
     status = _report_session_errors()
     return 1 if failed else status
+
+
+def _store_for(args: argparse.Namespace):
+    from repro.runtime.checkpoint import CheckpointStore
+
+    return CheckpointStore(args.checkpoint_dir)
+
+
+def _cmd_store_fsck(args: argparse.Namespace) -> int:
+    """Verify/repair the store.  Exit codes: 0 the store was already
+    clean; 1 problems were found and repaired or quarantined (the store
+    is serviceable again); 2 unrepairable I/O errors remain."""
+    store = _store_for(args)
+    report = store.fsck(purge_corrupt=args.purge_corrupt)
+    rows = [{"check": key, "count": value}
+            for key, value in report.to_dict().items()
+            if key not in ("root", "clean", "repairs")]
+    print(format_table(rows, f"fsck {report.root}"))
+    if report.clean:
+        print("store is clean")
+        return 0
+    print(f"{report.repairs} repair(s), {report.corrupt_pending} "
+          f"quarantined entr(ies) pending, {report.io_errors} I/O "
+          f"error(s)", file=sys.stderr)
+    return 2 if report.io_errors else 1
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = _store_for(args)
+    report = store.gc(max_bytes=args.max_bytes,
+                      max_entries=args.max_entries)
+    print(f"gc {report.root}: evicted {report.evicted} entr(ies), "
+          f"freed {report.freed_bytes} byte(s); "
+          f"{report.entries} entr(ies) / {report.bytes} byte(s) remain")
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    store = _store_for(args)
+    stats = store.stats()
+    rows = [{"stat": key, "value": value}
+            for key, value in stats.items()]
+    print(format_table(rows, f"checkpoint store {stats['root']}"))
+    reclaimable = stats["orphaned_tmp_bytes"] + stats["corrupt_bytes"]
+    print(f"reclaimable: {reclaimable} byte(s) "
+          f"({stats['orphaned_tmp_files']} orphaned tmp file(s), "
+          f"{stats['corrupt_files']} quarantined entr(ies)) — "
+          f"run `repro store fsck --purge-corrupt`")
+    return 0
+
+
+def _coerce_config_value(text: str, default: object) -> object:
+    """Parse a ``--set`` value against the field's current value."""
+    low = text.strip().lower()
+    if low in ("none", "null"):
+        return None
+    if low in ("true", "false") or isinstance(default, bool):
+        return low == "true"
+    try:
+        if isinstance(default, int):
+            return int(text)
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    """Digest-diff two configs: which stages a parameter change reruns."""
+    import dataclasses
+
+    from repro.flow import stagecache
+    from repro.flow.design_flow import FlowConfig
+
+    base = FlowConfig(circuit=args.circuit, node_name=args.node,
+                      is_3d=args.style == "tmi", scale=args.scale,
+                      target_clock_ns=args.clock)
+    fields = {f.name: f for f in dataclasses.fields(FlowConfig)}
+    changes = {}
+    for item in args.changes:
+        key, sep, value = item.partition("=")
+        if not sep or key not in fields:
+            known = ", ".join(sorted(fields))
+            print(f"bad --set {item!r}; expected KEY=VALUE with KEY one "
+                  f"of: {known}", file=sys.stderr)
+            return 2
+        changes[key] = _coerce_config_value(value, getattr(base, key))
+    changed = dataclasses.replace(base, **changes)
+
+    rows = stagecache.whatif(base, changed, store=_store_for(args))
+    display = []
+    for row in rows:
+        warm = row["warm"]
+        display.append({
+            "stage": row["stage"],
+            "action": "reuse" if row["reused"] else "recompute",
+            "warm checkpoint": ("-" if warm is None
+                                else "yes" if warm else "no"),
+            "note": row["note"],
+        })
+    label = ", ".join(f"{k}={v}" for k, v in changes.items()) or "(no change)"
+    print(format_table(display,
+                       f"whatif {args.circuit} {base.style()}: {label}"))
+    reused = sum(1 for row in rows if row["reused"])
+    print(f"{reused} stage(s) reused, {len(rows) - reused} recomputed")
+    return 0
 
 
 def _cmd_cells(args: argparse.Namespace) -> int:
@@ -528,6 +647,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="also print within-tolerance deviations")
     p.set_defaults(func=_cmd_goldens)
+
+    p = sub.add_parser("store",
+                       help="inspect and maintain the checkpoint store")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    ps = store_sub.add_parser(
+        "fsck", help="verify every entry; quarantine corrupt ones, evict "
+                     "stale schemas, sweep leftovers (exit 0 clean, "
+                     "1 repaired, 2 I/O errors)")
+    ps.add_argument("--purge-corrupt", action="store_true",
+                    help="also delete quarantined .corrupt files")
+    ps.set_defaults(func=_cmd_store_fsck)
+    ps = store_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a budget")
+    ps.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                    help="keep at most N bytes of entries")
+    ps.add_argument("--max-entries", type=int, default=None, metavar="N",
+                    help="keep at most N entries")
+    ps.set_defaults(func=_cmd_store_gc)
+    ps = store_sub.add_parser(
+        "stats", help="entry counts/bytes, reclaimable orphaned temp "
+                      "space, quarantined entries, degradation state")
+    ps.set_defaults(func=_cmd_store_stats)
+
+    p = sub.add_parser("whatif",
+                       help="which flow stages a parameter change would "
+                            "reuse vs recompute (digest diff; runs "
+                            "nothing)")
+    p.add_argument("circuit",
+                   choices=["fpu", "aes", "ldpc", "des", "m256"])
+    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--style", default="2d", choices=["2d", "tmi"])
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--clock", type=float, default=None,
+                   help="target clock in ns (default: auto-closed)")
+    p.add_argument("--set", dest="changes", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="changed FlowConfig field (repeatable), e.g. "
+                        "--set router_detour_coeff=0.5")
+    p.set_defaults(func=_cmd_whatif)
 
     p = sub.add_parser("cells", help="list the characterized library")
     p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])

@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.errors import ReproError, TaskFailedError
+from repro.flow import stagecache
 from repro.flow.compare import ComparisonResult, run_iso_performance_comparison
 from repro.flow.design_flow import FlowConfig, LayoutResult, run_flow
 from repro.runtime.checkpoint import CheckpointStore, config_key
@@ -88,15 +89,22 @@ def comparison_key(circuit: str, node_name: str, scale: float,
 
 def use_persistent_cache(path: Union[str, Path, None] = None
                          ) -> CheckpointStore:
-    """Enable the on-disk checkpoint store (the ``--resume`` path)."""
+    """Enable the on-disk checkpoint store (the ``--resume`` path).
+
+    The same store also backs the stage-level incremental cache
+    (:mod:`repro.flow.stagecache`), so a whole-run miss can still reuse
+    every stage checkpoint an earlier, slightly different run left.
+    """
     global _STORE
     _STORE = CheckpointStore(Path(path) if path is not None else None)
+    stagecache.use_store(_STORE)
     return _STORE
 
 
 def disable_persistent_cache() -> None:
     global _STORE
     _STORE = None
+    stagecache.disable()
 
 
 def persistent_store() -> Optional[CheckpointStore]:

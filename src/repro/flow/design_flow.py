@@ -23,6 +23,15 @@ All experiment knobs of the paper's studies are exposed on
 (Table 17), local-resistivity scale (Table 9), pin-cap scale (Table 8),
 WLM style (Table 15), activity factors (Fig. 11), MIV/MB1 blockage
 overhead (Fig. 7), and the target clock (Fig. 4).
+
+When a checkpoint store is bound (``--resume``, parallel workers), each
+supervised stage additionally consults the stage-level incremental
+cache (:mod:`repro.flow.stagecache`): its result is keyed on the
+digests of the upstream stages it consumes plus the config parameters
+it reads, so a one-knob change (e.g. ``router_detour_coeff``) reuses
+synthesis and placement checkpoints and recomputes only routing, STA
+and power.  The audit stage is never cached — every run, warm or cold,
+is re-verified.
 """
 
 from __future__ import annotations
@@ -41,12 +50,13 @@ from repro.check.routing import check_routing
 from repro.check.timing import check_timing
 from repro.circuits.generators import generate_benchmark
 from repro.errors import CongestionError, RoutingError
+from repro.flow import stagecache
 from repro.runtime.supervisor import StagePolicy, current_supervisor
 from repro.opt.cts import synthesize_clock_tree
 from repro.opt.optimizer import Optimizer
 from repro.place.placer import Placer
 from repro.power.analysis import PowerReport, analyze_power
-from repro.route.router import GlobalRouter, RoutingResult
+from repro.route.router import DETOUR_COEFF, GlobalRouter, RoutingResult
 from repro.synth.synthesis import Synthesizer
 from repro.synth.wlm import WireLoadModel
 from repro.tech.interconnect import InterconnectModel
@@ -110,6 +120,11 @@ class FlowConfig:
     use_tmi_wlm: Optional[bool] = None
     pi_activity: float = 0.2
     seq_activity: float = 0.1
+    # Router detour growth per unit of overflow (the Section 6
+    # congestion model).  A routing-only knob: changing it reuses the
+    # synthesis and placement stage checkpoints and recomputes routing
+    # onward (see repro.flow.stagecache).
+    router_detour_coeff: float = DETOUR_COEFF
 
     def style(self) -> str:
         return "3D" if self.is_3d else "2D"
@@ -198,6 +213,11 @@ class _LayoutAttempt:
 def run_flow(config: FlowConfig) -> LayoutResult:
     """Run the full flow for one configuration (supervised stages)."""
     supervisor = current_supervisor()
+    # Stage-level incremental cache: pass-through unless a store is
+    # bound (--resume / parallel workers).  Lookups happen *inside* the
+    # supervised stage bodies, so the journal, tracing, and fault hooks
+    # cover cached stages too; the audit stage is never cached.
+    memo = stagecache.StageMemo(config)
 
     def _prepare():
         node = get_node(config.node_name)
@@ -213,23 +233,26 @@ def run_flow(config: FlowConfig) -> LayoutResult:
 
     # -- synthesis -------------------------------------------------------------
     def _synthesis():
-        module = generate_benchmark(config.circuit, scale=config.scale,
-                                    seed=config.seed)
-        pre_area = sum(library.cell(i.cell_name).area_um2
-                       for i in module.instances)
-        wlm = WireLoadModel.estimate(
-            name=f"{config.circuit}-{config.style()}",
-            total_cell_area_um2=pre_area,
-            utilization=config.target_utilization,
-            interconnect=interconnect,
-            is_3d=config.is_3d,
-            use_tmi_lengths=config.use_tmi_wlm,
-        )
-        synthesizer = Synthesizer(library, wlm,
-                                  target_clock_ns=config.target_clock_ns,
-                                  tightness=config.tightness)
-        synth = synthesizer.run(module)
-        return module, synth.clock_ns
+        def compute():
+            module = generate_benchmark(config.circuit, scale=config.scale,
+                                        seed=config.seed)
+            pre_area = sum(library.cell(i.cell_name).area_um2
+                           for i in module.instances)
+            wlm = WireLoadModel.estimate(
+                name=f"{config.circuit}-{config.style()}",
+                total_cell_area_um2=pre_area,
+                utilization=config.target_utilization,
+                interconnect=interconnect,
+                is_3d=config.is_3d,
+                use_tmi_lengths=config.use_tmi_wlm,
+            )
+            synthesizer = Synthesizer(library, wlm,
+                                      target_clock_ns=config.target_clock_ns,
+                                      tightness=config.tightness)
+            synth = synthesizer.run(module)
+            return module, synth.clock_ns
+
+        return memo.cached("synthesis", compute)
 
     module, clock_ns = supervisor.run_stage("synthesis", _synthesis)
     synthesis_cells = module.n_cells
@@ -240,24 +263,88 @@ def run_flow(config: FlowConfig) -> LayoutResult:
     # layout once MAX_ROUTE_RETRIES attempts are exhausted.
     utilization_target = config.target_utilization
     cts_buffers = 0
+    attempt_no = 0
+    layout_cached = False
 
-    def _layout_attempt() -> _LayoutAttempt:
-        nonlocal cts_buffers
-        placer = Placer(library, target_utilization=utilization_target)
-        placement = placer.run(module)
-        floorplan = placement.floorplan
+    def _rebuild_layout(floorplan):
+        """Live engine objects for a floorplan restored from the cache.
+
+        They are stateless beyond their constructor arguments (and the
+        placed net model is a pure cache that post_route invalidates
+        anyway), so rebuilding them is equivalent to having computed
+        them alongside the cached placement.
+        """
         net_model = PlacedNetModel(module, interconnect,
                                    io_positions=floorplan.io_positions)
-
         optimizer = Optimizer(library, interconnect, floorplan, clock_ns)
-        pre_opt = optimizer.run(module, net_model)
+        router = GlobalRouter(library, interconnect, floorplan,
+                              detour_coeff=config.router_detour_coeff)
+        return net_model, optimizer, router
 
-        cts = synthesize_clock_tree(module, library, floorplan)
-        # Buffers inserted for a dense floorplan stay across retries;
-        # re-placement re-legalizes everything in the larger core.
-        cts_buffers += cts.n_buffers
+    def _layout_attempt() -> _LayoutAttempt:
+        nonlocal module, cts_buffers, attempt_no, layout_cached
+        if memo.enabled and attempt_no == 0:
+            # Composite checkpoint of the whole congestion loop: the
+            # final module/floorplan/routing after any retries or
+            # degradation, keyed on everything that can reach layout.
+            payload = memo.fetch("layout", memo.key("layout"))
+            if payload is not None:
+                layout_cached = True
+                module = payload["module"]
+                cts_buffers = payload["cts_buffers"]
+                floorplan = payload["floorplan"]
+                net_model, optimizer, router = _rebuild_layout(floorplan)
+                return _LayoutAttempt(
+                    floorplan=floorplan,
+                    net_model=net_model,
+                    optimizer=optimizer,
+                    router=router,
+                    routing=payload["routing"],
+                    pre_opt_buffers=payload["pre_opt_buffers"],
+                    utilization_target=payload["utilization_target"],
+                )
+        attempt_no += 1
+        placed = None
+        pkey = None
+        if memo.enabled:
+            # Placement sub-checkpoint (placer + pre-route optimization
+            # + CTS, i.e. everything before routing): a router-only
+            # parameter change misses the composite above but hits
+            # here, so only routing onward recomputes.
+            pkey = memo.placement_key(utilization_target, attempt_no)
+            placed = memo.fetch("placement", pkey)
+        if placed is not None:
+            module = placed["module"]
+            floorplan = placed["floorplan"]
+            cts_buffers += placed["cts_buffers"]
+            pre_opt_buffers = placed["pre_opt_buffers"]
+            net_model, optimizer, router = _rebuild_layout(floorplan)
+        else:
+            placer = Placer(library, target_utilization=utilization_target)
+            placement = placer.run(module)
+            floorplan = placement.floorplan
+            net_model = PlacedNetModel(module, interconnect,
+                                       io_positions=floorplan.io_positions)
 
-        router = GlobalRouter(library, interconnect, floorplan)
+            optimizer = Optimizer(library, interconnect, floorplan,
+                                  clock_ns)
+            pre_opt = optimizer.run(module, net_model)
+
+            cts = synthesize_clock_tree(module, library, floorplan)
+            # Buffers inserted for a dense floorplan stay across retries;
+            # re-placement re-legalizes everything in the larger core.
+            cts_buffers += cts.n_buffers
+            pre_opt_buffers = pre_opt.n_buffers_added
+
+            router = GlobalRouter(library, interconnect, floorplan,
+                                  detour_coeff=config.router_detour_coeff)
+            if pkey is not None:
+                memo.save(pkey, {
+                    "module": module,
+                    "floorplan": floorplan,
+                    "cts_buffers": cts.n_buffers,
+                    "pre_opt_buffers": pre_opt_buffers,
+                })
         routing = router.run(module)
         attempt = _LayoutAttempt(
             floorplan=floorplan,
@@ -265,7 +352,7 @@ def run_flow(config: FlowConfig) -> LayoutResult:
             optimizer=optimizer,
             router=router,
             routing=routing,
-            pre_opt_buffers=pre_opt.n_buffers_added,
+            pre_opt_buffers=pre_opt_buffers,
             utilization_target=utilization_target,
         )
         overflow = routing.grid.worst_overflow()
@@ -300,18 +387,47 @@ def run_flow(config: FlowConfig) -> LayoutResult:
     optimizer = layout.optimizer
     router = layout.router
     utilization_target = layout.utilization_target
+    if memo.enabled and not layout_cached:
+        # The composite outcome is only known here: the supervisor may
+        # have retried at stepped utilization or degraded to the
+        # congested partial, and that final state is what must replay.
+        memo.save(memo.key("layout"), {
+            "module": module,
+            "floorplan": floorplan,
+            "routing": layout.routing,
+            "pre_opt_buffers": layout.pre_opt_buffers,
+            "utilization_target": utilization_target,
+            "cts_buffers": cts_buffers,
+        })
 
     # -- post-route optimization -------------------------------------------------
     def _post_route():
-        net_model.invalidate()
-        post_opt = optimizer.run(module, net_model)
-        routing = router.run(module)
-        return post_opt, routing
+        def compute():
+            net_model.invalidate()
+            post_opt = optimizer.run(module, net_model)
+            return {
+                "module": module,
+                "routing": router.run(module),
+                "opt_buffers": post_opt.n_buffers_added,
+            }
 
-    post_opt, routing = supervisor.run_stage("post_route", _post_route)
+        return memo.cached("post_route", compute)
+
+    post_route = supervisor.run_stage("post_route", _post_route)
+    routing = post_route["routing"]
+    post_opt_buffers = post_route["opt_buffers"]
+    if post_route["module"] is not module:
+        # Restored from the stage cache: rebind the module snapshot and
+        # rebuild the net model that wraps it (fresh == invalidated).
+        module = post_route["module"]
+        net_model = PlacedNetModel(module, interconnect,
+                                   io_positions=floorplan.io_positions)
 
     # -- sign-off -------------------------------------------------------------------
     def _signoff():
+        return memo.cached("signoff", _signoff_compute)
+
+    def _signoff_compute():
         clock = clock_ns
         route = routing
         opt = optimizer
@@ -360,16 +476,32 @@ def run_flow(config: FlowConfig) -> LayoutResult:
                     analyzer = TimingAnalyzer(module, library,
                                               routed_model, clock)
                     report = analyzer.run()
-        return clock, report, route, routed_model
+        # The retune branch may have mutated the module; snapshot it so
+        # a cache hit replays the same post-signoff netlist state.
+        return {
+            "module": module,
+            "clock_ns": clock,
+            "report": report,
+            "routing": route,
+            "routed_model": routed_model,
+        }
 
-    clock_ns, report, routing, routed_model = supervisor.run_stage(
-        "signoff", _signoff)
+    signoff = supervisor.run_stage("signoff", _signoff)
+    clock_ns = signoff["clock_ns"]
+    report = signoff["report"]
+    routing = signoff["routing"]
+    routed_model = signoff["routed_model"]
+    if signoff["module"] is not module:
+        module = signoff["module"]
 
     # -- power -------------------------------------------------------------------
     def _power():
-        return analyze_power(module, library, routed_model, clock_ns,
-                             pi_activity=config.pi_activity,
-                             seq_activity=config.seq_activity)
+        def compute():
+            return analyze_power(module, library, routed_model, clock_ns,
+                                 pi_activity=config.pi_activity,
+                                 seq_activity=config.seq_activity)
+
+        return memo.cached("power", compute)
 
     power = supervisor.run_stage("power", _power)
 
@@ -412,7 +544,7 @@ def run_flow(config: FlowConfig) -> LayoutResult:
         routing=routing,
         synthesis_cells=synthesis_cells,
         cts_buffers=cts_buffers,
-        opt_buffers=layout.pre_opt_buffers + post_opt.n_buffers_added,
+        opt_buffers=layout.pre_opt_buffers + post_opt_buffers,
         audit=audit,
     )
     if flow_audit.collecting():

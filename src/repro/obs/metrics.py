@@ -44,6 +44,20 @@ __all__ = [
 DEFAULT_BOUNDS: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0)
 
+# Canonical counter names of the checkpoint/store subsystem (the full
+# metric table lives in docs/architecture.md).  Stage hit/miss counters
+# also emit per-stage variants suffixed ``.<stage>``.
+CHECKPOINT_COUNTERS: Tuple[str, ...] = (
+    "checkpoint.hits",          # whole-entry store loads that verified
+    "checkpoint.misses",        # absent, stale-schema, or corrupt loads
+    "checkpoint.stage_hits",    # flow stages restored from the store
+    "checkpoint.stage_misses",  # flow stages that had to compute
+    "store.repairs",            # fsck quarantines/evictions/sweeps
+    "store.evictions",          # gc LRU evictions
+    "store.lock_timeouts",      # advisory write locks abandoned
+    "store.degraded",           # store flips to cache-off (ENOSPC etc.)
+)
+
 
 class Counter:
     """Monotonically non-decreasing count."""

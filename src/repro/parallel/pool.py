@@ -95,10 +95,16 @@ _STORE: Optional[CheckpointStore] = None
 
 def _init_worker(context: WorkerContext) -> None:
     """Pool initializer: bind the shared store in this worker process."""
+    from repro.flow import stagecache
+
     global _CONTEXT, _STORE
     _CONTEXT = context
     _STORE = CheckpointStore(Path(context.store_root),
                              schema_version=context.schema_version)
+    # Stage-level checkpoints flow through the same shared store, so a
+    # worker reuses flow stages another worker (or an earlier session)
+    # already computed, not just whole task results.
+    stagecache.use_store(_STORE)
 
 
 def _compute(spec: TaskSpec) -> object:
@@ -424,16 +430,21 @@ class ParallelEngine:
     def _run_inline(self, pending: Dict[str, _PendingTask],
                     records: Dict[str, TaskRecord]) -> None:
         """jobs=1: same code path as the workers, in this process."""
+        from repro.flow import stagecache
+
         global _CONTEXT, _STORE
         previous = (_CONTEXT, _STORE)
+        previous_stage_store = stagecache.active_store()
         _CONTEXT = self._context()
         _STORE = self.store
+        stagecache.use_store(self.store)
         try:
             for key in list(pending):
                 task = pending.pop(key)
                 self._record(records, task, _execute_task(task.spec))
         finally:
             _CONTEXT, _STORE = previous
+            stagecache.use_store(previous_stage_store)
 
     def _run_pool_round(self, pending: Dict[str, _PendingTask],
                         records: Dict[str, TaskRecord],

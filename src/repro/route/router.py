@@ -67,10 +67,15 @@ class GlobalRouter:
     """Route a placed module over a metal stack."""
 
     def __init__(self, library, interconnect: InterconnectModel,
-                 floorplan: Floorplan) -> None:
+                 floorplan: Floorplan,
+                 detour_coeff: float = DETOUR_COEFF) -> None:
         self.library = library
         self.interconnect = interconnect
         self.floorplan = floorplan
+        # Detour growth per unit of overflow; a FlowConfig knob
+        # (router_detour_coeff) so congestion-sensitivity sweeps can
+        # vary routing without invalidating placement checkpoints.
+        self.detour_coeff = detour_coeff
 
     # -- helpers -----------------------------------------------------------
 
@@ -227,7 +232,7 @@ class GlobalRouter:
         detour_by_class: Dict[LayerClass, float] = {}
         for cls in class_cap_total:
             over = max(0.0, grid.peak_overflow_ratio(cls) - 1.0)
-            detour_by_class[cls] = min(1.0 + DETOUR_COEFF * over, 1.35)
+            detour_by_class[cls] = min(1.0 + self.detour_coeff * over, 1.35)
         detour = max(detour_by_class.values()) if detour_by_class else 1.0
 
         lengths: Dict[int, float] = {}

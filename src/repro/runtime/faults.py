@@ -1,4 +1,4 @@
-"""Deterministic fault injection at flow-stage boundaries.
+"""Deterministic fault injection at flow-stage and filesystem boundaries.
 
 The stage supervisor consults the active :class:`FaultPlan` every time a
 stage runs: once on entry (``where="before"``) and once after the stage
@@ -9,6 +9,14 @@ call a custom exception factory (handy for :class:`CongestionError`
 faults that need the attempt's partial result attached), or just sleep
 ``delay_s`` seconds — long enough to trip a stage timeout.
 
+The checkpoint store consults the same plan for **filesystem faults**
+(:class:`FsFaultSpec`): torn writes, partial renames, ``ENOSPC``,
+generic IO errors, stale locks, and bit-flipped payloads.  The store
+asks :func:`fs_fault` at each operation point and *implements* the
+matched behaviour itself (it owns the file layout), so every recovery
+path — quarantine, fsck repair, cache-off degradation — has a
+deterministic test.
+
 Usage::
 
     from repro.runtime import faults
@@ -17,9 +25,14 @@ Usage::
                                         times=2)):
         run_flow(config)          # first two layout attempts fail
 
+    with faults.inject(faults.FsFaultSpec(kind="torn_write")):
+        store.store(key, value)   # the entry lands truncated on disk
+
 Counting is per-plan and thread-safe (stages may execute on a worker
 thread when a timeout is configured), so a plan is deterministic and
-reusable only within one ``install``/``inject`` scope.
+reusable only within one ``install``/``inject`` scope.  Both spec kinds
+are picklable dataclasses, so a plan ships to pool workers through
+:class:`repro.parallel.pool.WorkerContext` unchanged.
 """
 
 from __future__ import annotations
@@ -34,6 +47,21 @@ from repro import errors
 
 # Specs with times=ALWAYS fire on every matching occurrence.
 ALWAYS = -1
+
+# Filesystem fault classes (FsFaultSpec.kind).  The checkpoint store
+# implements each behaviour at the matching operation point:
+#   torn_write     — the entry file is truncated mid-write, then renamed
+#                    into place (a corrupt entry under a valid name)
+#   partial_rename — the temp file is written but never renamed (an
+#                    orphaned .tmp, the footprint of a killed writer)
+#   enospc         — the write raises OSError(ENOSPC)
+#   io_error       — the operation raises OSError(EIO)
+#   stale_lock     — lock acquisition behaves as if another (dead)
+#                    writer holds the lock past the patience budget
+#   bit_flip       — one payload byte is flipped after a clean write
+#                    (silent media corruption; only the checksum sees it)
+FS_FAULT_KINDS = ("torn_write", "partial_rename", "enospc", "io_error",
+                  "stale_lock", "bit_flip")
 
 
 def _resolve_error(name: str) -> type:
@@ -79,20 +107,69 @@ class FaultSpec:
         return None
 
 
-class FaultPlan:
-    """An ordered set of fault specs plus per-spec hit counters."""
+@dataclass
+class FsFaultSpec:
+    """One deterministic filesystem fault against the checkpoint store.
 
-    def __init__(self, specs: List[FaultSpec]):
-        self.specs = list(specs)
+    ``kind`` names the failure class (see :data:`FS_FAULT_KINDS`); ``op``
+    restricts it to one store operation (``"store"``, ``"load"``, or
+    ``"lock"``; ``None`` matches any); ``key_filter`` restricts it to
+    store keys containing the substring.  Occurrence counting
+    (``skip``/``times``) works exactly like :class:`FaultSpec`.
+    """
+
+    kind: str
+    op: Optional[str] = None
+    key_filter: Optional[str] = None
+    times: int = 1
+    skip: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FS_FAULT_KINDS:
+            raise ValueError(f"unknown filesystem fault kind: {self.kind!r}")
+
+    def matches(self, op: str, key: str) -> bool:
+        if self.op is not None and self.op != op:
+            return False
+        return self.key_filter is None or self.key_filter in key
+
+
+class FaultPlan:
+    """An ordered set of fault specs plus per-spec hit counters.
+
+    Holds both stage specs (:class:`FaultSpec`, consulted by the
+    supervisor via :meth:`check`) and filesystem specs
+    (:class:`FsFaultSpec`, consulted by the checkpoint store via
+    :meth:`fs_fault`); counters are shared so a mixed plan stays
+    deterministic across threads.
+    """
+
+    def __init__(self, specs: List[object]):
+        self.specs = [s for s in specs if isinstance(s, FaultSpec)]
+        self.fs_specs = [s for s in specs if isinstance(s, FsFaultSpec)]
+        unknown = [s for s in specs
+                   if not isinstance(s, (FaultSpec, FsFaultSpec))]
+        if unknown:
+            raise TypeError(f"not fault specs: {unknown!r}")
         self._hits: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
         self._fired: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
+        self._fs_hits: Dict[int, int] = {
+            i: 0 for i in range(len(self.fs_specs))}
+        self._fs_fired: Dict[int, int] = {
+            i: 0 for i in range(len(self.fs_specs))}
         self._lock = threading.Lock()
 
     def fired(self, stage: Optional[str] = None) -> int:
-        """How many faults have fired (optionally for one stage)."""
+        """How many stage faults have fired (optionally for one stage)."""
         with self._lock:
             return sum(n for i, n in self._fired.items()
                        if stage is None or self.specs[i].stage == stage)
+
+    def fs_fired(self, kind: Optional[str] = None) -> int:
+        """How many filesystem faults have fired (optionally one kind)."""
+        with self._lock:
+            return sum(n for i, n in self._fs_fired.items()
+                       if kind is None or self.fs_specs[i].kind == kind)
 
     def check(self, stage: str, where: str, result: object = None) -> None:
         """Fire any matching spec; called by the supervisor."""
@@ -115,12 +192,36 @@ class FaultPlan:
             if exc is not None:
                 raise exc
 
+    def fs_fault(self, op: str, key: str) -> Optional[str]:
+        """The fault kind to apply to this store operation, or ``None``.
+
+        The first matching spec within its occurrence window fires; the
+        checkpoint store implements the returned kind's behaviour.
+        """
+        for i, spec in enumerate(self.fs_specs):
+            if not spec.matches(op, key):
+                continue
+            with self._lock:
+                hit = self._fs_hits[i]
+                self._fs_hits[i] = hit + 1
+                occurrence = hit - spec.skip
+                fires = (occurrence >= 0 and
+                         (spec.times == ALWAYS or occurrence < spec.times))
+                if fires:
+                    self._fs_fired[i] += 1
+            if fires:
+                return spec.kind
+        return None
+
 
 class _NullPlan(FaultPlan):
     def __init__(self) -> None:
         super().__init__([])
 
     def check(self, stage: str, where: str, result: object = None) -> None:
+        return None
+
+    def fs_fault(self, op: str, key: str) -> Optional[str]:
         return None
 
 
@@ -146,8 +247,11 @@ def reset() -> None:
 
 
 @contextmanager
-def inject(*specs: FaultSpec) -> Iterator[FaultPlan]:
-    """Context manager: install a plan of ``specs``, restore on exit."""
+def inject(*specs: object) -> Iterator[FaultPlan]:
+    """Context manager: install a plan of ``specs``, restore on exit.
+
+    Accepts any mix of :class:`FaultSpec` and :class:`FsFaultSpec`.
+    """
     previous = _ACTIVE
     plan = install(FaultPlan(list(specs)))
     try:
@@ -159,3 +263,8 @@ def inject(*specs: FaultSpec) -> Iterator[FaultPlan]:
 def check(stage: str, where: str = "before", result: object = None) -> None:
     """Hook for the supervisor: fire matching faults of the active plan."""
     _ACTIVE.check(stage, where, result)
+
+
+def fs_fault(op: str, key: str) -> Optional[str]:
+    """Hook for the checkpoint store: the fault kind to apply, or None."""
+    return _ACTIVE.fs_fault(op, key)

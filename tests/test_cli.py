@@ -72,3 +72,76 @@ def test_export_layout(tmp_path):
     assert rc == 0
     data = json.loads(path.read_text())
     assert data["circuit"] == "fpu"
+
+
+# -- store maintenance / whatif / bench --report ---------------------------
+
+def test_store_fsck_exit_codes(tmp_path, capsys):
+    from repro.runtime.checkpoint import CheckpointStore
+
+    store_dir = str(tmp_path / "store")
+    store = CheckpointStore(store_dir)
+    store.store("good", {"value": 1})
+    assert main(["--checkpoint-dir", store_dir, "store", "fsck"]) == 0
+    assert "store is clean" in capsys.readouterr().out
+
+    # Plant a torn entry: fsck quarantines it and reports non-clean.
+    (store.path_for("bad")).write_bytes(b"torn garbage")
+    assert main(["--checkpoint-dir", store_dir, "store", "fsck"]) == 1
+    # The quarantined file still pends until purged.
+    assert main(["--checkpoint-dir", store_dir, "store", "fsck"]) == 1
+    assert main(["--checkpoint-dir", store_dir, "store", "fsck",
+                 "--purge-corrupt"]) == 1
+    assert main(["--checkpoint-dir", store_dir, "store", "fsck"]) == 0
+    assert store.load("good") == {"value": 1}
+
+
+def test_store_stats_command(tmp_path, capsys):
+    from repro.runtime.checkpoint import CheckpointStore
+
+    store_dir = str(tmp_path / "store")
+    CheckpointStore(store_dir).store("k", {"value": 1})
+    assert main(["--checkpoint-dir", store_dir, "store", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "orphaned_tmp_files" in out
+    assert "reclaimable" in out
+
+
+def test_store_gc_command(tmp_path, capsys):
+    from repro.runtime.checkpoint import CheckpointStore
+
+    store_dir = str(tmp_path / "store")
+    store = CheckpointStore(store_dir)
+    for i in range(3):
+        store.store(f"k{i}", {"value": i})
+    assert main(["--checkpoint-dir", store_dir, "store", "gc",
+                 "--max-entries", "1"]) == 0
+    assert "evicted 2" in capsys.readouterr().out
+    assert store.stats()["entries"] == 1
+
+
+def test_whatif_command(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    rc = main(["--checkpoint-dir", store_dir, "whatif", "fpu",
+               "--scale", "0.06", "--set", "router_detour_coeff=0.5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "reuse" in out and "recompute" in out
+    assert "3 stage(s) reused, 5 recomputed" in out
+
+
+def test_whatif_rejects_unknown_field(tmp_path, capsys):
+    rc = main(["--checkpoint-dir", str(tmp_path), "whatif", "fpu",
+               "--set", "no_such_knob=1"])
+    assert rc == 2
+    assert "bad --set" in capsys.readouterr().err
+
+
+def test_bench_report_creates_parent_dirs(tmp_path, capsys):
+    import json
+
+    report = tmp_path / "deep" / "nested" / "report.json"
+    rc = main(["bench", "table10", "--report", str(report)])
+    assert rc == 0
+    payload = json.loads(report.read_text())
+    assert "row_digests" in payload and "table10" in payload["row_digests"]

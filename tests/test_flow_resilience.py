@@ -246,6 +246,46 @@ def test_partial_failure_keeps_good_rows(monkeypatch):
     assert len(runner.session_errors()) == 1
 
 
+# -- store degradation mid-run --------------------------------------------
+
+def test_store_degrades_to_cache_off_during_retry_loop(tmp_path):
+    """ENOSPC while the supervisor is retrying congestion: the stage
+    store flips to cache-off and the retry loop still completes the
+    flow — a sick disk costs checkpoints, never the run."""
+    from repro.runtime.faults import FsFaultSpec
+
+    store = runner.use_persistent_cache(tmp_path)
+    sup = StageSupervisor()
+    with use_supervisor(sup), faults.inject(
+            _congestion_fault(times=2),
+            FsFaultSpec(kind="enospc", op="store", times=ALWAYS)) as plan:
+        result = run_flow(FlowConfig(**SMALL))
+    # The congestion retries ran to completion despite the dead store.
+    assert sup.journal.outcomes("layout") == ["retried", "retried", "ok"]
+    assert result.utilization_target == pytest.approx(
+        0.80 * CONGESTION_UTIL_STEP ** 2)
+    assert result.power.total_mw > 0.0
+    # The store degraded on the first write and went silent: exactly
+    # one injected fault fired, nothing landed on disk.
+    assert store.degraded
+    assert plan.fs_fired("enospc") == 1
+    assert store.stats()["entries"] == 0
+
+
+def test_degraded_store_keeps_results_in_memory(tmp_path):
+    """cached_flow on a cache-off store: the computed result stays
+    usable through the in-process memo, try_store never raises."""
+    from repro.runtime.faults import FsFaultSpec
+
+    runner.use_persistent_cache(tmp_path)
+    config = FlowConfig(**SMALL)
+    with faults.inject(FsFaultSpec(kind="enospc", op="store",
+                                   times=ALWAYS)):
+        first = runner.cached_flow(config)
+        again = runner.cached_flow(config)
+    assert again is first               # served from the in-process memo
+
+
 # -- stage timeouts / --timeout -------------------------------------------
 
 def test_stage_timeout_through_flow():

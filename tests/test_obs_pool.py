@@ -111,6 +111,11 @@ def test_untraced_run_ships_no_bundles(tmp_path):
     # Stage walls still resolve (journal-based, tracer-independent) ...
     assert report.records[0].stages
     assert report.stage_totals()
-    # ... but only the result entry landed in the store.
-    entries = list(store.root.glob("*.ckpt"))
-    assert len(entries) == 1
+    # ... but no trace bundle landed in the store (the result entry and
+    # the workers' per-stage memo entries are expected).
+    from repro.parallel.pool import _trace_key
+
+    spec = next(iter(TaskGraph(
+        [comparison_task("fpu", scale=SCALE)]).tasks.values()))
+    assert store.load(spec.key) is not None
+    assert store.load(_trace_key(spec.key)) is None

@@ -109,3 +109,58 @@ def test_multiple_specs_count_independently():
     assert plan.fired("layout") == 1
     assert plan.fired("signoff") == 1
     assert plan.fired() == 2
+
+
+# -- filesystem fault specs -------------------------------------------------
+
+def test_fs_fault_spec_rejects_unknown_kind():
+    from repro.runtime.faults import FsFaultSpec
+
+    with pytest.raises(ValueError):
+        FsFaultSpec(kind="disk_melts")
+
+
+def test_fs_fault_counting_filters_and_skip():
+    from repro.runtime.faults import FaultPlan, FsFaultSpec
+
+    plan = FaultPlan([FsFaultSpec(kind="enospc", op="store",
+                                  key_filter="abc", times=1, skip=1)])
+    assert plan.fs_fault("load", "xabcx") is None    # op mismatch
+    assert plan.fs_fault("store", "zzz") is None     # key mismatch
+    assert plan.fs_fault("store", "xabcx") is None   # skipped occurrence
+    assert plan.fs_fault("store", "xabcx") == "enospc"
+    assert plan.fs_fault("store", "xabcx") is None   # window exhausted
+    assert plan.fs_fired() == 1
+    assert plan.fs_fired("enospc") == 1
+    assert plan.fs_fired("torn_write") == 0
+
+
+def test_mixed_plan_keeps_stage_and_fs_counters_separate():
+    from repro.runtime.faults import FaultPlan, FaultSpec, FsFaultSpec
+
+    plan = FaultPlan([
+        FaultSpec(stage="layout", error="RoutingError"),
+        FsFaultSpec(kind="torn_write", times=ALWAYS),
+    ])
+    assert plan.fs_fault("store", "k") == "torn_write"
+    with pytest.raises(RoutingError):
+        plan.check("layout", "before")
+    assert plan.fired() == 1
+    assert plan.fs_fired() == 1
+
+
+def test_plan_rejects_non_spec_objects():
+    from repro.runtime.faults import FaultPlan
+
+    with pytest.raises(TypeError):
+        FaultPlan(["not a spec"])
+
+
+def test_module_level_fs_fault_hook_and_null_plan():
+    from repro.runtime.faults import FsFaultSpec
+
+    assert faults.fs_fault("store", "k") is None     # no plan active
+    with faults.inject(FsFaultSpec(kind="bit_flip")) as plan:
+        assert faults.fs_fault("store", "k") == "bit_flip"
+        assert plan.fs_fired("bit_flip") == 1
+    assert faults.fs_fault("store", "k") is None
