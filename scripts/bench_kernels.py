@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Benchmark the vectorized hot kernels against the pure-Python backend.
+
+Runs the same flow configuration once per kernel backend, each in a
+fresh subprocess (the in-process library cache would otherwise let the
+second run skip characterization entirely, and checkpoint stores are
+deliberately not bound so nothing is memoized), collects per-kernel and
+per-stage wall times from the tracer, and writes a before/after report
+— ``BENCH_kernels.json`` at the repo root by default.
+
+The report groups kernel spans by subsystem prefix (``place.*``,
+``sta.*``, ``route.*``, ``char.*``) so the headline is the per-hot-
+kernel speedup the vectorization PR claims.  ``--check`` exits non-zero
+when the numpy flow is slower than the reference — the CI smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# The four hot-kernel groups of the vectorization work; span names are
+# prefixed by subsystem (place.quadratic_solve, sta.propagate, ...).
+KERNEL_GROUPS = ("place", "sta", "route", "char")
+
+
+def _run_single(ns: argparse.Namespace) -> None:
+    """Child-process body: one flow run under one backend, JSON out."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.flow.design_flow import FlowConfig, run_flow
+    from repro.obs.trace import Tracer, use_tracer
+
+    config = FlowConfig(circuit=ns.circuit, scale=ns.scale, seed=ns.seed,
+                        is_3d=ns.three_d, kernel_backend=ns.single)
+    tracer = Tracer()
+    start = time.perf_counter()
+    with use_tracer(tracer):
+        result = run_flow(config)
+    wall = time.perf_counter() - start
+
+    # The flow's library characterizer is analytic; the MNA transient
+    # sweep (the char.* hot kernel, Table 2's engine) is benchmarked
+    # standalone on the three representative cells.
+    from repro.cells.netlist import build_cell_netlist
+    from repro.cells.geometry import build_cell_geometry_2d
+    from repro.characterize.charlib import (CharacterizationSetup,
+                                            characterize_cell)
+    from repro.extraction.rc import ExtractionMode, extract_cell
+    from repro.kernels import use_backend
+    from repro.tech.node import get_node
+
+    node = get_node("45nm")
+    char_tracer = Tracer()
+    with use_tracer(char_tracer), use_backend(ns.single):
+        for cell_type in ("INV", "NAND2", "DFF"):
+            nl = build_cell_netlist(cell_type, 1.0, node)
+            para = extract_cell(build_cell_geometry_2d(nl, node),
+                                ExtractionMode.FLAT, node)
+            characterize_cell(nl, para, CharacterizationSetup(node=node),
+                              cell_type=cell_type)
+    kernels = tracer.totals("kernel")
+    for name, secs in char_tracer.totals("kernel").items():
+        kernels[name] = kernels.get(name, 0.0) + secs
+
+    json.dump({
+        "backend": ns.single,
+        "kernels_s": kernels,
+        "stages_s": tracer.totals("stage"),
+        "flow_wall_s": wall,
+        "wns_ps": result.wns_ps,
+        "total_power_mw": result.power.total_mw,
+        "total_wirelength_um": result.total_wirelength_um,
+    }, sys.stdout)
+
+
+def _spawn(backend: str, ns: argparse.Namespace) -> dict:
+    cmd = [sys.executable, str(Path(__file__).resolve()),
+           "--single", backend,
+           "--circuit", ns.circuit, "--scale", str(ns.scale),
+           "--seed", str(ns.seed)]
+    if ns.three_d:
+        cmd.append("--three-d")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_CHECKPOINT_DIR", None)   # never memoize a benchmark
+    out = subprocess.run(cmd, env=env, check=True,
+                         capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def _ratio(python_s: float, numpy_s: float) -> float | None:
+    if numpy_s <= 0.0:
+        return None
+    return python_s / numpy_s
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuit", default="aes")
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--three-d", action="store_true",
+                        help="benchmark the 3D (T-MI) flow variant")
+    parser.add_argument("--out", default=str(REPO_ROOT /
+                                             "BENCH_kernels.json"))
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the numpy flow is at least "
+                             "as fast as the python reference")
+    parser.add_argument("--single", choices=["python", "numpy"],
+                        help=argparse.SUPPRESS)  # internal child mode
+    ns = parser.parse_args(argv)
+
+    if ns.single:
+        _run_single(ns)
+        return 0
+
+    runs = {}
+    for backend in ("python", "numpy"):
+        print(f"running {ns.circuit} scale={ns.scale} seed={ns.seed} "
+              f"backend={backend} ...", flush=True)
+        runs[backend] = _spawn(backend, ns)
+        print(f"  flow wall {runs[backend]['flow_wall_s']:.2f} s")
+
+    py, np_ = runs["python"], runs["numpy"]
+    for field in ("wns_ps", "total_power_mw", "total_wirelength_um"):
+        if py[field] != np_[field]:
+            print(f"BACKEND MISMATCH on {field}: "
+                  f"{py[field]!r} vs {np_[field]!r}", file=sys.stderr)
+            return 2
+
+    kernels = {}
+    for name in sorted(set(py["kernels_s"]) | set(np_["kernels_s"])):
+        p = py["kernels_s"].get(name, 0.0)
+        n = np_["kernels_s"].get(name, 0.0)
+        kernels[name] = {"python_s": round(p, 4), "numpy_s": round(n, 4),
+                         "speedup": round(_ratio(p, n), 2)
+                         if _ratio(p, n) is not None else None}
+
+    groups = {}
+    for prefix in KERNEL_GROUPS:
+        p = sum(v for k, v in py["kernels_s"].items()
+                if k.startswith(prefix + "."))
+        n = sum(v for k, v in np_["kernels_s"].items()
+                if k.startswith(prefix + "."))
+        ratio = _ratio(p, n)
+        groups[prefix] = {"python_s": round(p, 4), "numpy_s": round(n, 4),
+                          "speedup": round(ratio, 2)
+                          if ratio is not None else None}
+
+    stages = {}
+    for name in sorted(set(py["stages_s"]) | set(np_["stages_s"])):
+        p = py["stages_s"].get(name, 0.0)
+        n = np_["stages_s"].get(name, 0.0)
+        ratio = _ratio(p, n)
+        stages[name] = {"python_s": round(p, 4), "numpy_s": round(n, 4),
+                        "speedup": round(ratio, 2)
+                        if ratio is not None else None}
+
+    flow_ratio = _ratio(py["flow_wall_s"], np_["flow_wall_s"])
+    report = {
+        "schema": 1,
+        "config": {"circuit": ns.circuit, "scale": ns.scale,
+                   "seed": ns.seed, "is_3d": ns.three_d},
+        "parity": {"wns_ps": py["wns_ps"],
+                   "total_power_mw": py["total_power_mw"],
+                   "total_wirelength_um": py["total_wirelength_um"]},
+        "flow_wall_s": {"python": round(py["flow_wall_s"], 2),
+                        "numpy": round(np_["flow_wall_s"], 2),
+                        "speedup": round(flow_ratio, 2)},
+        "hot_kernels": groups,
+        "kernels": kernels,
+        "stages": stages,
+    }
+    Path(ns.out).write_text(json.dumps(report, indent=2,
+                                       sort_keys=False) + "\n")
+    print(f"wrote {ns.out}")
+    for prefix, row in groups.items():
+        print(f"  {prefix:6s} {row['python_s']:9.3f} s -> "
+              f"{row['numpy_s']:9.3f} s   "
+              f"{row['speedup'] if row['speedup'] else 'n/a'}x")
+    print(f"  flow   {py['flow_wall_s']:9.2f} s -> "
+          f"{np_['flow_wall_s']:9.2f} s   {round(flow_ratio, 2)}x")
+
+    if ns.check and (flow_ratio is None or flow_ratio < 1.0):
+        print("CHECK FAILED: numpy backend slower than the python "
+              "reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.errors import LibraryError
 from repro.cells.netlist import CellNetlist, is_sequential_type
@@ -139,6 +139,22 @@ class Cell:
         return self.characterization
 
 
+@dataclass(frozen=True)
+class CellTimingMeta:
+    """Interned per-cell facts the batched timing kernels probe by name.
+
+    Pin directions, caps, and sequential-ness never change after a cell
+    is added, so the vectorized STA resolves them through one dict
+    lookup per cell name instead of an attribute/enum chain per pin
+    visit (the dominant cost of the graph-building loops at scale).
+    """
+
+    is_sequential: bool
+    input_pins: FrozenSet[str]
+    output_pins: FrozenSet[str]
+    pin_caps: Dict[str, float]
+
+
 class CellLibrary:
     """A characterized standard-cell library for one node + style."""
 
@@ -148,6 +164,7 @@ class CellLibrary:
         self.is_3d = is_3d
         self._cells: Dict[str, Cell] = {}
         self._by_type: Dict[str, List[Cell]] = {}
+        self._timing_meta: Dict[str, CellTimingMeta] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -178,6 +195,24 @@ class CellLibrary:
 
     def cell_names(self) -> List[str]:
         return sorted(self._cells)
+
+    def timing_meta(self, name: str) -> CellTimingMeta:
+        meta = self._timing_meta.get(name)
+        if meta is None:
+            cell = self.cell(name)
+            pins = list(cell.pins.values())
+            meta = CellTimingMeta(
+                is_sequential=cell.is_sequential,
+                input_pins=frozenset(
+                    p.name for p in pins
+                    if p.direction == PinDirection.INPUT),
+                output_pins=frozenset(
+                    p.name for p in pins
+                    if p.direction == PinDirection.OUTPUT),
+                pin_caps={p.name: p.cap_ff for p in pins},
+            )
+            self._timing_meta[name] = meta
+        return meta
 
     def cells_of_type(self, cell_type: str) -> List[Cell]:
         """All strengths of a logical type, weakest first."""

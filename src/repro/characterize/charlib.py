@@ -38,6 +38,8 @@ from repro.characterize.waveforms import (
     constant,
     measure_delay_slew,
 )
+from repro.kernels import current_backend
+from repro.obs.trace import kernel
 from repro.tech.node import TechNode, NODE_45NM
 
 # Default characterization grid: the paper's fast/medium/slow corners
@@ -285,6 +287,126 @@ def _measure_sequential(netlist: CellNetlist,
             float(np.mean(energies)))
 
 
+def _sweep_grid_batch(netlist: CellNetlist,
+                      parasitics: Optional[CellParasitics],
+                      cell_type: str, in_pin: str, out_pin: str,
+                      slews: Sequence[float], loads: Sequence[float],
+                      setup: CharacterizationSetup, sequential: bool,
+                      delay: np.ndarray, oslew: np.ndarray,
+                      energy: np.ndarray) -> None:
+    """Phase-batched characterization grid (``numpy`` kernel backend).
+
+    Runs the same simulations as the scalar grid loop but batched in
+    lockstep: one settle per (direction, load) — the settle result does
+    not depend on slew, so the scalar path's repeats are redundant —
+    then every (slew, load, direction) measurement at once.  Table
+    values are bit-identical to the scalar sweep.
+    """
+    from repro.characterize.mna_batch import TransientSpec, transient_batch
+
+    node = setup.node
+    vdd = node.vdd
+    start_ns = 0.02
+    directions = (True, False)
+    leak_mw = _leakage_mw(netlist, node)
+    if sequential:
+        data_pin = netlist.input_pins[0]
+        side = {}
+    else:
+        side = sensitizing_vector(cell_type, in_pin, out_pin)
+
+    def _drive_side(circuit: MNACircuit, rising: bool) -> None:
+        if sequential:
+            d_value = vdd if rising else 0.0
+            circuit.drive(data_pin, constant(d_value))
+            for pin in netlist.input_pins[1:]:
+                held = _SEQ_SIDE_VALUES.get(pin, False)
+                circuit.drive(pin, constant(vdd if held else 0.0))
+        else:
+            for pin, value in side.items():
+                circuit.drive(pin, constant(vdd if value else 0.0))
+
+    # Phase 1: settling runs, one per (direction, load).
+    settle_specs = []
+    settle_keys = []
+    far_map = {}
+    for rising in directions:
+        for j, load_ff in enumerate(loads):
+            circuit, far = _build_circuit(netlist, parasitics, node,
+                                          load_ff, out_pin)
+            _drive_side(circuit, rising)
+            seed = None
+            if sequential:
+                circuit.drive(in_pin, constant(0.0))
+                seed_s_in = vdd if rising else 0.0
+                seed = {"s_in": seed_s_in, "s_in__w": seed_s_in,
+                        "s_fb": seed_s_in, "s_fb__w": seed_s_in,
+                        "s_out": vdd - seed_s_in,
+                        "s_out__w": vdd - seed_s_in}
+            else:
+                v0 = 0.0 if rising else vdd
+                circuit.drive(in_pin, constant(v0))
+            settle_specs.append(TransientSpec(
+                circuit, setup.settle_ns, setup.settle_dt_ns, None, seed))
+            settle_keys.append((rising, j))
+            far_map[(rising, j)] = far
+    initial_map = {
+        key: {name: float(wave[-1])
+              for name, wave in result.voltages.items()}
+        for key, result in zip(settle_keys,
+                               transient_batch(settle_specs))}
+
+    # Phase 2: every (slew, load, direction) measurement at once.
+    meas_specs = []
+    meta = []
+    for i, slew_ps in enumerate(slews):
+        for j, load_ff in enumerate(loads):
+            for rising in directions:
+                circuit2, far2 = _build_circuit(netlist, parasitics, node,
+                                                load_ff, out_pin)
+                _drive_side(circuit2, rising)
+                initial = initial_map[(rising, j)]
+                if sequential:
+                    stim = RampStimulus(v0=0.0, v1=vdd, start_ns=start_ns,
+                                        slew_ps=slew_ps)
+                    t_stop, dt = _window_ns(node, slew_ps, load_ff + 6.0,
+                                            setup)
+                    output_rising = rising
+                else:
+                    v0 = 0.0 if rising else vdd
+                    stim = RampStimulus(v0=v0, v1=vdd - v0,
+                                        start_ns=start_ns, slew_ps=slew_ps)
+                    t_stop, dt = _window_ns(node, slew_ps, load_ff, setup)
+                    out_start = initial.get(
+                        far_map[(rising, j)][out_pin], 0.0)
+                    output_rising = out_start < vdd / 2.0
+                circuit2.drive(in_pin, stim)
+                meas_specs.append(TransientSpec(
+                    circuit2, t_stop + start_ns, dt, [far2[out_pin]],
+                    initial))
+                meta.append((i, j, stim, t_stop, output_rising,
+                             far2[out_pin]))
+
+    # Phase 3: measurements and rise/fall averaging, scalar-path order.
+    triples: Dict[Tuple[int, int], list] = {}
+    for (i, j, stim, t_stop, output_rising, out_node), result in zip(
+            meta, transient_batch(meas_specs)):
+        out_wave = result.voltage(out_node)
+        delay_ps, out_slew_ps = measure_delay_slew(
+            result.times_ns, out_wave, vdd, stim.mid_crossing_ns,
+            output_rising)
+        leak_fj = (leak_mw * 1.0e3) * (t_stop + start_ns)
+        e_int = result.supply_energy_fj - leak_fj
+        if output_rising:
+            e_int -= loads[j] * vdd * vdd
+        triples.setdefault((i, j), []).append(
+            (delay_ps, out_slew_ps, max(e_int, 0.0)))
+    for (i, j), vals in triples.items():
+        delay[i, j] = float(np.mean([v[0] for v in vals]))
+        oslew[i, j] = float(np.mean([v[1] for v in vals]))
+        energy[i, j] = float(np.mean([v[2] for v in vals]))
+
+
 def characterize_cell(netlist: CellNetlist,
                       parasitics: Optional[CellParasitics] = None,
                       setup: Optional[CharacterizationSetup] = None,
@@ -302,25 +424,31 @@ def characterize_cell(netlist: CellNetlist,
     slews = list(setup.seq_slews_ps if sequential else setup.slews_ps)
     loads = list(setup.loads_ff)
 
+    if not sequential and not is_combinational(cell_type):
+        raise CharacterizationError(
+            f"cannot characterize cell type {cell_type!r}")
     delay = np.zeros((len(slews), len(loads)))
     oslew = np.zeros_like(delay)
     energy = np.zeros_like(delay)
-    for i, slew_ps in enumerate(slews):
-        for j, load_ff in enumerate(loads):
-            if sequential:
-                d, s, e = _measure_sequential(
-                    netlist, parasitics, in_pin, out_pin, slew_ps, load_ff,
-                    setup)
-            else:
-                if not is_combinational(cell_type):
-                    raise CharacterizationError(
-                        f"cannot characterize cell type {cell_type!r}")
-                d, s, e = _measure_combinational(
-                    netlist, parasitics, cell_type, in_pin, out_pin,
-                    slew_ps, load_ff, setup)
-            delay[i, j] = d
-            oslew[i, j] = s
-            energy[i, j] = e
+    with kernel("char.mna_sweep", points=len(slews) * len(loads)):
+        if current_backend() == "numpy":
+            _sweep_grid_batch(netlist, parasitics, cell_type, in_pin,
+                              out_pin, slews, loads, setup, sequential,
+                              delay, oslew, energy)
+        else:
+            for i, slew_ps in enumerate(slews):
+                for j, load_ff in enumerate(loads):
+                    if sequential:
+                        d, s, e = _measure_sequential(
+                            netlist, parasitics, in_pin, out_pin, slew_ps,
+                            load_ff, setup)
+                    else:
+                        d, s, e = _measure_combinational(
+                            netlist, parasitics, cell_type, in_pin, out_pin,
+                            slew_ps, load_ff, setup)
+                    delay[i, j] = d
+                    oslew[i, j] = s
+                    energy[i, j] = e
 
     arc = TimingArc(
         input_pin=in_pin,

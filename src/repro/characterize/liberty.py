@@ -52,6 +52,41 @@ class NLDMTable:
         v1 = v10 + (v11 - v10) * lf
         return float(v0 + (v1 - v0) * sf)
 
+    def lookup_batch(self, slews_ps: np.ndarray,
+                     loads_ff: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lookup` over aligned slew/load arrays.
+
+        Elementwise bit-identical to the scalar path: same bracketing,
+        same interpolation expression tree.
+        """
+        s = np.asarray(slews_ps, dtype=float)
+        l = np.asarray(loads_ff, dtype=float)
+        si, sf = self._bracket_batch(self.slews_ps, s)
+        li, lf = self._bracket_batch(self.loads_ff, l)
+        si1 = np.minimum(si + 1, self.slews_ps.size - 1)
+        li1 = np.minimum(li + 1, self.loads_ff.size - 1)
+        v00 = self.values[si, li]
+        v01 = self.values[si, li1]
+        v10 = self.values[si1, li]
+        v11 = self.values[si1, li1]
+        v0 = v00 + (v01 - v00) * lf
+        v1 = v10 + (v11 - v10) * lf
+        return v0 + (v1 - v0) * sf
+
+    @staticmethod
+    def _bracket_batch(axis: np.ndarray, x: np.ndarray):
+        """Vectorized :meth:`_bracket` (same clamping and fraction)."""
+        if axis.size < 2:
+            return (np.zeros(np.shape(x), dtype=np.intp),
+                    np.zeros(np.shape(x)))
+        # min/max ufuncs rather than np.clip: same integers, without
+        # the dispatch overhead that dominates per-level batches.
+        idx = axis.searchsorted(x) - 1
+        idx = np.minimum(np.maximum(idx, 0), axis.size - 2)
+        span = axis[idx + 1] - axis[idx]
+        frac = (x - axis[idx]) / span
+        return idx, frac
+
     @staticmethod
     def _bracket(axis: np.ndarray, x: float):
         """Index of the lower bracket point and the fractional position.

@@ -31,6 +31,7 @@ from typing import Dict
 
 from repro.errors import ExtractionError
 from repro.cells.geometry import CellGeometry, POLY_WIDTH_45_UM
+from repro.kernels.arrays import f64
 from repro.tech.interconnect import EPS0_FF_PER_UM
 from repro.tech.miv import MIVModel
 from repro.tech.node import TechNode, get_node
@@ -235,22 +236,27 @@ def extract_cell(geometry: CellGeometry,
     for net in geometry.nets():
         r_ohm = 0.0
         c_ff = 0.0
+        # Segment lengths and via counts come from geometry builders that
+        # may hand over integers or narrow numpy scalars; coerce through
+        # float64 once so the sums never truncate.
         for seg in geometry.segments_for_net(net):
-            r_ohm += _unit_r_ohm_per_um(seg.layer, node) * seg.length_um
-            c_ff += _unit_c_ff_per_um(seg.layer, node) * seg.length_um
+            length = f64(seg.length_um)
+            r_ohm += _unit_r_ohm_per_um(seg.layer, node) * length
+            c_ff += _unit_c_ff_per_um(seg.layer, node) * length
         for via in geometry.vias_for_net(net):
+            count = f64(via.count)
             # Contacts on the same net are (mostly) parallel current paths;
             # model the group as one effective resistance.
-            r_ohm += _via_r_ohm(via.kind, node) / max(via.count, 1) \
+            r_ohm += _via_r_ohm(via.kind, node) / max(count, 1.0) \
                 if via.kind in ("CT", "CTB", "DSCT") \
-                else _via_r_ohm(via.kind, node) * via.count
-            c_ff += _via_c_ff(via.kind, node) * via.count
+                else _via_r_ohm(via.kind, node) * count
+            c_ff += _via_c_ff(via.kind, node) * count
         coupling = coupling_per_net.get(net, 0.0)
         c_ff += coupling
         nets[net] = NetParasitics(
             net=net,
-            resistance_kohm=r_ohm / 1000.0,
-            capacitance_ff=c_ff,
-            coupling_ff=coupling,
+            resistance_kohm=f64(r_ohm) / 1000.0,
+            capacitance_ff=f64(c_ff),
+            coupling_ff=f64(coupling),
         )
     return CellParasitics(cell_name=geometry.cell_name, mode=mode, nets=nets)

@@ -47,7 +47,7 @@ from repro.runtime.checkpoint import CheckpointStore, config_key
 # + CTS — so a router-only change can reuse it.)
 STAGE_PARAMS: Dict[str, Tuple[str, ...]] = {
     "prepare": ("node_name", "is_3d", "pin_cap_scale", "metal_stack",
-                "local_resistivity_scale"),
+                "local_resistivity_scale", "kernel_backend"),
     "synthesis": ("circuit", "scale", "seed", "target_clock_ns",
                   "tightness", "target_utilization", "use_tmi_wlm"),
     "placement": ("target_utilization",),

@@ -21,6 +21,7 @@ from scipy.sparse.linalg import cg
 
 from repro.errors import PlacementError
 from repro.circuits.netlist import Module, PIN_DRIVER, PO_SINK
+from repro.kernels import current_backend
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import kernel
 from repro.place.floorplan import Floorplan
@@ -108,14 +109,25 @@ def _build_system(module: Module, floorplan: Floorplan,
 def quadratic_solve(module: Module, floorplan: Floorplan,
                     anchor_x: Optional[np.ndarray] = None,
                     anchor_y: Optional[np.ndarray] = None,
-                    anchor_weight: float = ANCHOR_WEIGHT
-                    ) -> Tuple[np.ndarray, np.ndarray]:
-    """Solve the quadratic placement; returns (x, y) arrays."""
+                    anchor_weight: float = ANCHOR_WEIGHT,
+                    system=None) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve the quadratic placement; returns (x, y) arrays.
+
+    ``system`` may carry a prebuilt
+    :class:`~repro.place.quadratic_numpy.PlacementSystem`, letting the
+    placement loop amortize the netlist scan across its solves.
+    """
     n = len(module.instances)
     if n == 0:
         raise PlacementError("no instances to place")
-    lap, bx, by = _build_system(module, floorplan, anchor_x, anchor_y,
-                                anchor_weight)
+    if current_backend() == "numpy":
+        from repro.place.quadratic_numpy import PlacementSystem
+        if system is None:
+            system = PlacementSystem(module, floorplan)
+        lap, bx, by = system.build(anchor_x, anchor_y, anchor_weight)
+    else:
+        lap, bx, by = _build_system(module, floorplan, anchor_x, anchor_y,
+                                    anchor_weight)
     if anchor_x is not None:
         x0, y0 = anchor_x.copy(), anchor_y.copy()
     else:
@@ -136,6 +148,9 @@ def spread(module: Module, library, floorplan: Floorplan,
     n = len(module.instances)
     areas = np.array([library.cell(i.cell_name).area_um2
                       for i in module.instances])
+    if current_backend() == "numpy":
+        from repro.place import quadratic_numpy
+        return quadratic_numpy.spread(areas, floorplan, x, y)
     order = np.arange(n)
     out_x = np.empty(n)
     out_y = np.empty(n)
@@ -235,6 +250,13 @@ def median_sweep(module: Module, floorplan: Floorplan,
     The half-step damping plus the interleaved spreading keeps density
     under control (GordianL-style linearization of the objective).
     """
+    if current_backend() == "numpy":
+        from repro.place.quadratic_numpy import MedianPlan
+        plan = adjacency if isinstance(adjacency, MedianPlan) \
+            else MedianPlan(adjacency)
+        plan.sweep(x, y, sweeps)
+        return
+    adjacency = getattr(adjacency, "adjacency", adjacency)
     n = len(module.instances)
     for _ in range(sweeps):
         for i in range(n):
@@ -260,19 +282,27 @@ def place_global(module: Module, library, floorplan: Floorplan
     refinement) each followed by a spreading pass to restore density.
     """
     iterations = obs_metrics.counter("placer.iterations")
+    system = None
+    if current_backend() == "numpy":
+        from repro.place.quadratic_numpy import PlacementSystem
+        system = PlacementSystem(module, floorplan)
     with kernel("place.quadratic_solve"):
-        x, y = quadratic_solve(module, floorplan)
+        x, y = quadratic_solve(module, floorplan, system=system)
     with kernel("place.spread"):
         x, y = spread(module, library, floorplan, x, y)
     iterations.inc()
     for hold in HOLD_WEIGHTS:
         with kernel("place.quadratic_solve", hold=hold):
             x, y = quadratic_solve(module, floorplan, anchor_x=x,
-                                   anchor_y=y, anchor_weight=hold)
+                                   anchor_y=y, anchor_weight=hold,
+                                   system=system)
         with kernel("place.spread"):
             x, y = spread(module, library, floorplan, x, y)
         iterations.inc()
     adjacency = _cell_pin_adjacency(module, floorplan)
+    if current_backend() == "numpy":
+        from repro.place.quadratic_numpy import MedianPlan
+        adjacency = MedianPlan(adjacency)
     for _ in range(MEDIAN_ROUNDS):
         with kernel("place.median_sweep"):
             median_sweep(module, floorplan, x, y, adjacency,

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.circuits.netlist import Module, Net
+from repro.kernels import current_backend
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import kernel
 from repro.place.floorplan import Floorplan
@@ -141,6 +142,9 @@ class GlobalRouter:
 
     def run(self, module: Module,
             include_clock: bool = True) -> RoutingResult:
+        if current_backend() == "numpy":
+            from repro.route.router_numpy import run_numpy
+            return run_numpy(self, module, include_clock)
         grid = RoutingGrid.for_core(self.floorplan.width_um,
                                     self.floorplan.height_um,
                                     self.interconnect.stack)

@@ -52,6 +52,59 @@ def rsmt_edges(points: Sequence[Point]) -> List[Tuple[int, int]]:
     return edges
 
 
+def rsmt_edges_batch(points_list: Sequence[Sequence[Point]]
+                     ) -> List[List[Tuple[int, int]]]:
+    """:func:`rsmt_edges` for many nets as one padded lockstep Prim.
+
+    Pads every net to the widest pin count and advances all frontiers
+    together; a net stops participating once its k-1 edges are placed.
+    Distances, argmin tie-breaks, and the strict-improvement parent
+    updates are elementwise identical to the scalar routine, so each
+    net's edge list comes out equal — only the per-call small-array
+    overhead (the dominant cost for 4-8 pin nets) is amortized.
+    """
+    m = len(points_list)
+    if m == 0:
+        return []
+    kcounts = np.array([len(p) for p in points_list], dtype=np.intp)
+    kmax = int(kcounts.max())
+    edges: List[List[Tuple[int, int]]] = [[] for _ in range(m)]
+    if kmax < 2:
+        return edges
+    xs = np.zeros((m, kmax))
+    ys = np.zeros((m, kmax))
+    for i, pts in enumerate(points_list):
+        k = len(pts)
+        if k:
+            xs[i, :k] = [p[0] for p in pts]
+            ys[i, :k] = [p[1] for p in pts]
+    valid = np.arange(kmax, dtype=np.intp)[None, :] < kcounts[:, None]
+    in_tree = np.zeros((m, kmax), dtype=bool)
+    in_tree[:, 0] = True
+    best_dist = np.abs(xs - xs[:, :1]) + np.abs(ys - ys[:, :1])
+    best_dist[:, 0] = np.inf
+    best_dist[~valid] = np.inf
+    best_parent = np.zeros((m, kmax), dtype=np.intp)
+    rows_all = np.arange(m, dtype=np.intp)
+    for step in range(kmax - 1):
+        rows = rows_all[kcounts - 1 > step]
+        if rows.size == 0:
+            break
+        bd = best_dist[rows]
+        nxt = np.argmin(bd, axis=1)
+        par = best_parent[rows, nxt]
+        for r, a, b in zip(rows.tolist(), par.tolist(), nxt.tolist()):
+            edges[r].append((a, b))
+        in_tree[rows, nxt] = True
+        d = (np.abs(xs[rows] - xs[rows, nxt][:, None])
+             + np.abs(ys[rows] - ys[rows, nxt][:, None]))
+        upd = (~in_tree[rows]) & valid[rows] & (d < bd)
+        best_dist[rows] = np.where(upd, d, bd)
+        best_parent[rows] = np.where(upd, nxt[:, None], best_parent[rows])
+        best_dist[rows, nxt] = np.inf
+    return edges
+
+
 def rsmt_length_um(points: Sequence[Point]) -> float:
     """Estimated rectilinear Steiner length of a pin set, um."""
     k = len(points)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, TextIO
 
 from repro.errors import TechnologyError
+from repro.kernels.arrays import f64
 from repro.tech.interconnect import InterconnectModel
 
 # Corner derating factors applied to (R, C).
@@ -46,11 +47,13 @@ def corner_rc(model: InterconnectModel, layer_name: str,
         raise TechnologyError(
             f"unknown extraction corner {corner!r} (known: {known})")
     rc = model.wire_rc(layer_name)
+    # Coerce through float64: stacks defined with integer/np-typed unit
+    # values must not leak machine-integer arithmetic into the corners.
     return CornerRC(
         layer_name=layer_name,
         corner=corner,
-        resistance_ohm_per_um=rc.resistance_ohm_per_um * r_scale,
-        capacitance_ff_per_um=rc.capacitance_ff_per_um * c_scale,
+        resistance_ohm_per_um=f64(rc.resistance_ohm_per_um) * r_scale,
+        capacitance_ff_per_um=f64(rc.capacitance_ff_per_um) * c_scale,
     )
 
 

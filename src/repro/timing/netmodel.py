@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.circuits.netlist import Module, Net
+from repro.kernels.arrays import as_f64, as_index
 from repro.tech.interconnect import InterconnectModel
 from repro.tech.metal import LayerClass
 
@@ -16,6 +19,21 @@ class NetModel:
     def net_rc(self, net: Net) -> Tuple[float, float]:
         """(resistance kohm, capacitance fF) of the net's wiring."""
         raise NotImplementedError
+
+    def net_rc_bulk(self, nets: Sequence[Net], size: int
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(R, C) arrays indexed by net index for a batch of nets.
+
+        The base implementation just loops :meth:`net_rc`; models with a
+        vectorizable estimate override it.
+        """
+        r = np.zeros(size)
+        c = np.zeros(size)
+        for net in nets:
+            rr, cc = self.net_rc(net)
+            r[net.index] = rr
+            c[net.index] = cc
+        return r, c
 
     def net_length_um(self, net: Net) -> float:
         """Estimated/routed wirelength of the net, um."""
@@ -125,6 +143,119 @@ class PlacedNetModel(NetModel):
     def net_rc(self, net: Net) -> Tuple[float, float]:
         _, r, c = self._entry(net)
         return r, c
+
+    def net_rc_bulk(self, nets: Sequence[Net], size: int
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        cache = self._cache
+        missing = [net for net in nets if net.index not in cache]
+        if missing:
+            self._fill_cache_bulk(missing)
+        r = np.zeros(size)
+        c = np.zeros(size)
+        if nets:
+            idx = as_index([net.index for net in nets])
+            entries = [cache[i] for i in idx.tolist()]
+            r[idx] = [e[1] for e in entries]
+            c[idx] = [e[2] for e in entries]
+        return r, c
+
+    def _fill_cache_bulk(self, missing: List[Net]) -> None:
+        """Vectorized :meth:`_entry` for a batch of uncached nets.
+
+        Same point set, HPWL, Steiner correction, layer-class pick, and
+        unit-RC products as the scalar path, so cached values are
+        bit-identical whichever path filled them.
+        """
+        insts = self.module.instances
+        inst_x = as_f64([inst.x_um for inst in insts])
+        inst_y = as_f64([inst.y_um for inst in insts])
+        n = len(missing)
+        idx_flat: List[int] = []
+        append = idx_flat.append
+        io_get = self.io_positions.get
+        counts_l: List[int] = []
+        io_n_l: List[int] = []
+        io_x_l: List[float] = []
+        io_y_l: List[float] = []
+        fan_l: List[int] = []
+        for net in missing:
+            iopos = io_get(net.index)
+            members = 0
+            ios = 0
+            drv = net.driver
+            if drv is not None:
+                pi = drv[0]
+                if pi >= 0:
+                    append(pi)
+                    members += 1
+                elif iopos is not None:
+                    ios += 1
+            for sink_idx, _pin in net.sinks:
+                if sink_idx >= 0:
+                    append(sink_idx)
+                    members += 1
+                elif iopos is not None:
+                    ios += 1
+            counts_l.append(members)
+            io_n_l.append(ios)
+            if iopos is not None:
+                io_x_l.append(iopos[0])
+                io_y_l.append(iopos[1])
+            else:
+                io_x_l.append(0.0)
+                io_y_l.append(0.0)
+            fan_l.append(len(net.sinks))
+        counts = as_index(counts_l)
+        io_n = as_index(io_n_l)
+        io_x = as_f64(io_x_l)
+        io_y = as_f64(io_y_l)
+        fan = as_index(fan_l)
+
+        minx = np.full(n, np.inf)
+        miny = np.full(n, np.inf)
+        maxx = np.full(n, -np.inf)
+        maxy = np.full(n, -np.inf)
+        has_members = counts > 0
+        if idx_flat and has_members.any():
+            idx = as_index(idx_flat)
+            xs = inst_x[idx]
+            ys = inst_y[idx]
+            offs = (np.cumsum(counts) - counts)[has_members]
+            minx[has_members] = np.minimum.reduceat(xs, offs)
+            miny[has_members] = np.minimum.reduceat(ys, offs)
+            maxx[has_members] = np.maximum.reduceat(xs, offs)
+            maxy[has_members] = np.maximum.reduceat(ys, offs)
+        use_io = io_n > 0
+        minx = np.where(use_io, np.minimum(minx, io_x), minx)
+        miny = np.where(use_io, np.minimum(miny, io_y), miny)
+        maxx = np.where(use_io, np.maximum(maxx, io_x), maxx)
+        maxy = np.where(use_io, np.maximum(maxy, io_y), maxy)
+
+        valid = (counts + io_n) >= 2
+        for arr in (minx, miny, maxx, maxy):
+            arr[~valid] = 0.0
+        hpwl = (maxx - minx) + (maxy - miny)
+        corr = np.where(fan <= 3, 1.0,
+                        1.0 + 0.18 * np.sqrt(np.maximum(fan - 3, 0)))
+        length = np.where(valid, hpwl * corr, 0.0)
+        scale = self.interconnect.node.geometry_scale
+        local_um = self.local_threshold_um * scale
+        inter_um = self.intermediate_threshold_um * scale
+        cls = np.where(length <= local_um, 0,
+                       np.where(length <= inter_um, 1, 2))
+        units = [self.interconnect.class_rc(k)
+                 for k in (LayerClass.LOCAL, LayerClass.INTERMEDIATE,
+                           LayerClass.GLOBAL)]
+        r_unit = as_f64([u.resistance_kohm_per_um for u in units])
+        c_unit = as_f64([u.capacitance_ff_per_um for u in units])
+        r = length * r_unit[cls]
+        c = length * c_unit[cls]
+        length_l = length.tolist()
+        r_l = r.tolist()
+        c_l = c.tolist()
+        cache = self._cache
+        for pos, net in enumerate(missing):
+            cache[net.index] = (length_l[pos], r_l[pos], c_l[pos])
 
 
 class RoutedNetModel(NetModel):

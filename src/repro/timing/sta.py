@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import TimingError
 from repro.circuits.netlist import Module, Net, PO_SINK
+from repro.kernels import current_backend
 from repro.obs.trace import kernel
 from repro.timing.graph import levelize
 from repro.timing.netmodel import NetModel
@@ -107,6 +108,9 @@ class TimingAnalyzer:
     # -- main ---------------------------------------------------------------
 
     def run(self) -> TimingReport:
+        if current_backend() == "numpy":
+            from repro.timing.sta_numpy import run_numpy
+            return run_numpy(self)
         module = self.module
         library = self.library
         with kernel("sta.levelize"):
@@ -174,7 +178,21 @@ class TimingAnalyzer:
                         arrival[net_idx] = a
                         slew[net_idx] = wire_s
 
-        # Endpoints.
+        return self._finish_report(arrival, slew, loads)
+
+    def _finish_report(self, arrival: Dict[int, float],
+                       slew: Dict[int, float],
+                       loads: Dict[int, float]) -> TimingReport:
+        """Endpoint slack / WNS / TNS from propagated arrivals.
+
+        Shared by both kernel backends so the endpoint accumulation
+        order (and therefore WNS ties and TNS summation) is identical.
+        """
+        module = self.module
+        library = self.library
+        meta_of = library.timing_meta
+        is_seq = [meta_of(i.cell_name).is_sequential
+                  for i in module.instances]
         endpoint_slack: Dict[Tuple[int, str], float] = {}
         wns = float("inf")
         tns = 0.0

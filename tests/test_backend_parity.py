@@ -1,0 +1,71 @@
+"""Full-flow parity between kernel backends.
+
+The vectorized kernels are only trusted because a whole flow run is
+observably indistinguishable from the pure-Python reference: the same
+measured rows (and therefore the same golden row digests), the same
+audit findings, and the same structural trace shape.  These tests run
+one configuration under both backends and require byte-identical
+observables — the goldens/audit gates then hold under either backend
+for free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.goldens import row_digest
+from repro.flow.design_flow import FlowConfig, run_flow
+from repro.obs.trace import Tracer, use_tracer
+
+
+def _observe(circuit: str, scale: float, seed: int, backend: str,
+             is_3d: bool = False):
+    config = FlowConfig(circuit=circuit, scale=scale, seed=seed,
+                        is_3d=is_3d, kernel_backend=backend)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = run_flow(config)
+    return result, tracer
+
+
+def _assert_parity(circuit: str, scale: float, seed: int,
+                   is_3d: bool = False) -> None:
+    rp, tp = _observe(circuit, scale, seed, "python", is_3d)
+    rn, tn = _observe(circuit, scale, seed, "numpy", is_3d)
+
+    # Measured rows and their canonical digest (the goldens gate).
+    assert rp.summary_row() == rn.summary_row()
+    assert row_digest([rp.summary_row()]) == row_digest([rn.summary_row()])
+
+    # Exact internals, not just the rounded row.
+    assert rp.clock_ns == rn.clock_ns
+    assert rp.wns_ps == rn.wns_ps
+    assert rp.total_wirelength_um == rn.total_wirelength_um
+    assert rp.utilization == rn.utilization
+    assert rp.power.total_mw == rn.power.total_mw
+    assert rp.power.cell_mw == rn.power.cell_mw
+    assert rp.power.net_mw == rn.power.net_mw
+    assert rp.power.leakage_mw == rn.power.leakage_mw
+    assert rp.n_cells == rn.n_cells and rp.n_buffers == rn.n_buffers
+
+    # Invariant-audit findings (dataclass equality covers every field).
+    assert rp.audit is not None and rn.audit is not None
+    assert rp.audit.findings == rn.audit.findings
+    assert rp.audit.n_checks == rn.audit.n_checks
+
+    # Structural trace digest: same span forest, names, and attrs.
+    assert tp.digest() == tn.digest()
+
+
+def test_flow_parity_aes_2d():
+    _assert_parity("aes", scale=0.06, seed=1)
+
+
+@pytest.mark.slow
+def test_flow_parity_aes_2d_scaled_up():
+    _assert_parity("aes", scale=0.2, seed=7)
+
+
+@pytest.mark.slow
+def test_flow_parity_des_3d():
+    _assert_parity("des", scale=0.06, seed=2, is_3d=True)

@@ -1,0 +1,435 @@
+"""Differential tests: vectorized kernels vs their pure-Python references.
+
+Every hot kernel keeps its scalar implementation as a selectable
+reference backend (``REPRO_KERNEL_BACKEND``); these tests pin the
+``numpy`` backend to it bit-for-bit on seeded inputs, plus property
+tests for the structural assumptions the vectorized code relies on
+(within-level permutation invariance of STA propagation, CG residuals
+against a direct solve, monotone router demand booking).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import generate_benchmark
+from repro.kernels import use_backend
+from repro.place.floorplan import Floorplan
+from repro.place import quadratic
+from repro.place.quadratic import (
+    _build_system,
+    _cell_pin_adjacency,
+    median_sweep,
+    place_global,
+    quadratic_solve,
+    spread,
+)
+from repro.place.quadratic_numpy import MedianPlan, PlacementSystem
+from repro.route.router import GlobalRouter
+from repro.route.grid import RoutingGrid
+from repro.tech.interconnect import InterconnectModel
+from repro.tech.metal import build_stack_2d, build_stack_tmi
+from repro.tech.node import get_node
+from repro.timing.graph import levelize, levelize_levels
+from repro.timing.netmodel import PlacedNetModel
+from repro.timing.sta import TimingAnalyzer
+
+
+@pytest.fixture(scope="module")
+def aes_small(lib45_2d):
+    module = generate_benchmark("aes", scale=0.08, seed=3)
+    floorplan = Floorplan.for_module(module, lib45_2d, 0.80)
+    return module, floorplan
+
+
+@pytest.fixture(scope="module")
+def aes_placed(aes_small, lib45_2d):
+    module, floorplan = aes_small
+    with use_backend("numpy"):
+        x, y = place_global(module, lib45_2d, floorplan)
+    for inst, xi, yi in zip(module.instances, x, y):
+        inst.x_um = float(xi)
+        inst.y_um = float(yi)
+    return module, floorplan
+
+
+def _interconnect(is_3d: bool = False) -> InterconnectModel:
+    node = get_node("45nm")
+    stack = build_stack_tmi(node) if is_3d else build_stack_2d(node)
+    return InterconnectModel(stack)
+
+
+# -- placement kernels -------------------------------------------------------
+
+
+def test_placement_system_matches_scalar_build(aes_small):
+    module, floorplan = aes_small
+    lap_py, bx_py, by_py = _build_system(module, floorplan)
+    lap_np, bx_np, by_np = PlacementSystem(module, floorplan).build(
+        None, None, quadratic.ANCHOR_WEIGHT)
+    # Bit-exact: the batched assembly emits COO entries and replays the
+    # diagonal/rhs accumulations in the reference's element order, so
+    # every float operation matches (CG amplifies even ulp drift into
+    # visibly different placements).
+    assert np.array_equal(lap_py.toarray(), lap_np.toarray())
+    assert np.array_equal(bx_py, bx_np)
+    assert np.array_equal(by_py, by_np)
+
+
+def test_spread_bit_identical(aes_small, lib45_2d):
+    module, floorplan = aes_small
+    rng = np.random.default_rng(11)
+    x = rng.uniform(0.0, floorplan.width_um, len(module.instances))
+    y = rng.uniform(0.0, floorplan.height_um, len(module.instances))
+    with use_backend("python"):
+        xp, yp = spread(module, lib45_2d, floorplan, x.copy(), y.copy())
+    with use_backend("numpy"):
+        xn, yn = spread(module, lib45_2d, floorplan, x.copy(), y.copy())
+    assert np.array_equal(xp, xn)
+    assert np.array_equal(yp, yn)
+
+
+def test_median_sweep_bit_identical(aes_small):
+    module, floorplan = aes_small
+    rng = np.random.default_rng(12)
+    x0 = rng.uniform(0.0, floorplan.width_um, len(module.instances))
+    y0 = rng.uniform(0.0, floorplan.height_um, len(module.instances))
+    adjacency = _cell_pin_adjacency(module, floorplan)
+    xp, yp = x0.copy(), y0.copy()
+    with use_backend("python"):
+        median_sweep(module, floorplan, xp, yp, adjacency, 3)
+    xn, yn = x0.copy(), y0.copy()
+    with use_backend("numpy"):
+        median_sweep(module, floorplan, xn, yn, MedianPlan(adjacency), 3)
+    assert np.array_equal(xp, xn)
+    assert np.array_equal(yp, yn)
+
+
+def test_place_global_bit_identical(aes_small, lib45_2d):
+    module, floorplan = aes_small
+    with use_backend("python"):
+        xp, yp = place_global(module, lib45_2d, floorplan)
+    with use_backend("numpy"):
+        xn, yn = place_global(module, lib45_2d, floorplan)
+    assert np.array_equal(xp, xn)
+    assert np.array_equal(yp, yn)
+
+
+def test_cg_residual_bounded_by_direct_solve(aes_small):
+    """Property: the CG placement solve stays near the exact solution."""
+    module, floorplan = aes_small
+    lap, bx, _by = _build_system(module, floorplan)
+    with use_backend("python"):
+        x, _y = quadratic_solve(module, floorplan)
+    dense = lap.toarray()
+    exact = np.linalg.solve(dense, bx)
+    np.clip(exact, 0.0, floorplan.width_um, out=exact)
+    residual = np.linalg.norm(dense @ np.linalg.solve(dense, bx) - bx)
+    assert residual <= 1e-6 * np.linalg.norm(bx)
+    # CG (clipped like the solver output) lands within the loose bound
+    # the spreading stage assumes.
+    assert np.max(np.abs(x - exact)) <= 1.0e-2 * floorplan.width_um
+
+
+# -- timing kernels ----------------------------------------------------------
+
+
+def test_levelize_levels_matches_levelize(aes_small, lib45_2d):
+    module, floorplan = aes_small
+    order = levelize(module, lib45_2d)
+    levels = levelize_levels(module, lib45_2d)
+    flat = np.concatenate([lvl for lvl in levels]) if levels \
+        else np.zeros(0, dtype=np.intp)
+    assert sorted(flat.tolist()) == sorted(order)
+    # Every level only depends on nets produced by strictly earlier
+    # levels: re-running the scalar engine in level-concatenated order
+    # must give a valid topological order (checked by position).
+    pos = {int(i): k for k, lvl in enumerate(levels)
+           for i in lvl.tolist()}
+    produced_level = {}
+    for inst in module.instances:
+        if inst.index not in pos:
+            continue
+        cell = lib45_2d.cell(inst.cell_name)
+        for pin_name, net_idx in inst.pin_nets.items():
+            if cell.pin(pin_name).direction.value == "output":
+                produced_level[net_idx] = pos[inst.index]
+    for inst in module.instances:
+        if inst.index not in pos:
+            continue
+        cell = lib45_2d.cell(inst.cell_name)
+        for pin_name, net_idx in inst.pin_nets.items():
+            if cell.pin(pin_name).direction.value != "input":
+                continue
+            if net_idx in produced_level:
+                assert produced_level[net_idx] < pos[inst.index]
+
+
+def test_nldm_lookup_batch_matches_scalar(lib45_2d):
+    cell = lib45_2d.cell("INV_X1")
+    arc = cell.characterization.worst_arc()
+    rng = np.random.default_rng(5)
+    slews = rng.uniform(1.0, 400.0, 257)       # beyond both axis ends
+    loads = rng.uniform(0.05, 40.0, 257)
+    for table in (arc.delay, arc.output_slew, arc.internal_energy):
+        batch = table.lookup_batch(slews, loads)
+        scalar = np.array([table.lookup(float(s), float(l))
+                           for s, l in zip(slews, loads)])
+        assert np.array_equal(batch, scalar)
+
+
+def test_net_rc_bulk_matches_scalar(aes_placed):
+    module, floorplan = aes_placed
+    interconnect = _interconnect()
+    scalar_model = PlacedNetModel(module, interconnect,
+                                  io_positions=floorplan.io_positions)
+    bulk_model = PlacedNetModel(module, interconnect,
+                                io_positions=floorplan.io_positions)
+    r, c = bulk_model.net_rc_bulk(module.nets, len(module.nets))
+    for net in module.nets:
+        rr, cc = scalar_model.net_rc(net)
+        assert r[net.index] == rr
+        assert c[net.index] == cc
+
+
+def test_sta_run_bit_identical(aes_placed, lib45_2d):
+    module, floorplan = aes_placed
+    interconnect = _interconnect()
+
+    def run(backend):
+        with use_backend(backend):
+            model = PlacedNetModel(module, interconnect,
+                                   io_positions=floorplan.io_positions)
+            return TimingAnalyzer(module, lib45_2d, model,
+                                  clock_ns=2.0).run()
+
+    rp = run("python")
+    rn = run("numpy")
+    assert rp.arrival_ps == rn.arrival_ps
+    assert rp.slew_ps == rn.slew_ps
+    assert rp.load_ff == rn.load_ff
+    assert rp.endpoint_slack_ps == rn.endpoint_slack_ps
+    assert rp.wns_ps == rn.wns_ps
+    assert rp.tns_ps == rn.tns_ps
+    assert rp.critical_endpoint == rn.critical_endpoint
+
+
+def test_propagate_invariant_to_within_level_order(aes_placed, lib45_2d,
+                                                   monkeypatch):
+    """Property: the scalar engine's result does not depend on the order
+    instances are visited *within* a topological level (the assumption
+    level-batched propagation rests on)."""
+    module, floorplan = aes_placed
+    interconnect = _interconnect()
+
+    def run():
+        with use_backend("python"):
+            model = PlacedNetModel(module, interconnect,
+                                   io_positions=floorplan.io_positions)
+            return TimingAnalyzer(module, lib45_2d, model,
+                                  clock_ns=2.0).run()
+
+    baseline = run()
+    levels = levelize_levels(module, lib45_2d)
+    rng = np.random.default_rng(7)
+    shuffled = []
+    for lvl in levels:
+        perm = lvl.copy()
+        rng.shuffle(perm)
+        shuffled.extend(int(i) for i in perm)
+    monkeypatch.setattr("repro.timing.sta.levelize",
+                        lambda _m, _l: shuffled)
+    permuted = run()
+    assert permuted.arrival_ps == baseline.arrival_ps
+    assert permuted.slew_ps == baseline.slew_ps
+    assert permuted.wns_ps == baseline.wns_ps
+
+
+# -- routing kernels ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("is_3d", [False, True])
+def test_router_run_bit_identical(aes_placed, lib45_2d, is_3d):
+    module, floorplan = aes_placed
+    interconnect = _interconnect(is_3d)
+
+    def run(backend):
+        with use_backend(backend):
+            router = GlobalRouter(lib45_2d, interconnect, floorplan)
+            return router.run(module)
+
+    rp = run("python")
+    rn = run("numpy")
+    assert rp.lengths_um == rn.lengths_um
+    assert list(rp.lengths_um) == list(rn.lengths_um)
+    assert rp.resistances_kohm == rn.resistances_kohm
+    assert rp.capacitances_ff == rn.capacitances_ff
+    assert rp.layer_class == rn.layer_class
+    assert list(rp.layer_class) == list(rn.layer_class)
+    assert rp.total_wirelength_um == rn.total_wirelength_um
+    assert rp.wirelength_by_class == rn.wirelength_by_class
+    assert rp.mb1_wirelength_um == rn.mb1_wirelength_um
+    assert rp.detour_factor == rn.detour_factor
+    for cls, demand in rp.grid.demand.items():
+        assert np.array_equal(demand, rn.grid.demand[cls])
+
+
+def test_grid_demand_booking_is_monotone():
+    """Property: booking edges only ever grows tile demand (the update
+    the batched ``np.add.at`` accumulation must preserve)."""
+    node = get_node("45nm")
+    grid = RoutingGrid.for_core(120.0, 120.0, build_stack_2d(node))
+    cls = next(iter(grid.tile_capacity_um))
+    rng = np.random.default_rng(9)
+    prev = grid.demand[cls].copy()
+    for _ in range(200):
+        x0, y0, x1, y1 = rng.uniform(0.0, 120.0, 4)
+        grid.add_edge_demand(cls, float(x0), float(y0), float(x1), float(y1))
+        now = grid.demand[cls]
+        assert np.all(now >= prev - 1e-12)
+        assert np.all(now >= 0.0)
+        prev = now.copy()
+
+
+# -- characterization kernels ------------------------------------------------
+
+
+def test_mna_characterization_bit_identical():
+    from repro.cells.netlist import build_cell_netlist
+    from repro.cells.geometry import build_cell_geometry_2d
+    from repro.extraction.rc import ExtractionMode, extract_cell
+    from repro.characterize.charlib import (
+        CharacterizationSetup,
+        characterize_cell,
+    )
+    from repro.tech.node import NODE_45NM
+
+    nl = build_cell_netlist("INV", 1.0, NODE_45NM)
+    parasitics = extract_cell(build_cell_geometry_2d(nl, NODE_45NM),
+                              ExtractionMode.FLAT)
+    setup = CharacterizationSetup(node=NODE_45NM)
+    with use_backend("python"):
+        cp = characterize_cell(nl, parasitics, setup)
+    with use_backend("numpy"):
+        cn = characterize_cell(nl, parasitics, setup)
+    ap, an = cp.worst_arc(), cn.worst_arc()
+    assert np.array_equal(ap.delay.values, an.delay.values)
+    assert np.array_equal(ap.output_slew.values, an.output_slew.values)
+    assert np.array_equal(ap.internal_energy.values,
+                          an.internal_energy.values)
+    assert cp.leakage_mw == cn.leakage_mw
+    assert cp.setup_time_ps == cn.setup_time_ps
+
+
+@pytest.mark.slow
+def test_mna_characterization_bit_identical_sequential():
+    from repro.cells.netlist import build_cell_netlist
+    from repro.cells.geometry import build_cell_geometry_2d
+    from repro.extraction.rc import ExtractionMode, extract_cell
+    from repro.characterize.charlib import (
+        CharacterizationSetup,
+        characterize_cell,
+    )
+    from repro.tech.node import NODE_45NM
+
+    nl = build_cell_netlist("DFF", 1.0, NODE_45NM)
+    parasitics = extract_cell(build_cell_geometry_2d(nl, NODE_45NM),
+                              ExtractionMode.FLAT)
+    setup = CharacterizationSetup(node=NODE_45NM)
+    with use_backend("python"):
+        cp = characterize_cell(nl, parasitics, setup)
+    with use_backend("numpy"):
+        cn = characterize_cell(nl, parasitics, setup)
+    ap, an = cp.worst_arc(), cn.worst_arc()
+    assert np.array_equal(ap.delay.values, an.delay.values)
+    assert np.array_equal(ap.output_slew.values, an.output_slew.values)
+    assert np.array_equal(ap.internal_energy.values,
+                          an.internal_energy.values)
+    assert cp.setup_time_ps == cn.setup_time_ps
+
+
+# -- dtype and degenerate-input regressions ----------------------------------
+
+
+def test_corner_rc_coerces_integer_unit_values():
+    # Stacks defined with machine-integer (or narrow numpy) unit values
+    # must come out as exact float64 — the derating multiply used to run
+    # in whatever dtype the stack author happened to use.
+    from repro.tech.captable import corner_rc
+    from repro.tech.interconnect import WireRC
+
+    class _IntModel:
+        def wire_rc(self, layer_name):
+            return WireRC(layer_name=layer_name,
+                          resistance_ohm_per_um=np.int32(4),
+                          capacitance_ff_per_um=2)
+
+    rc = corner_rc(_IntModel(), "M2", "max")
+    assert type(rc.resistance_ohm_per_um) is float
+    assert type(rc.capacitance_ff_per_um) is float
+    assert rc.resistance_ohm_per_um == 4.0 * 1.18
+    assert rc.capacitance_ff_per_um == 2.0 * 1.12
+
+
+def test_extract_cell_coerces_integer_geometry():
+    from repro.cells.geometry import CellGeometry, ViaGroup, WireSegment
+    from repro.extraction.rc import ExtractionMode, extract_cell
+
+    geom = CellGeometry(
+        cell_name="X", node_name="45nm", width_um=1.0, height_um=1.0,
+        is_3d=False,
+        segments=[WireSegment(layer="M1", net="a",
+                              length_um=np.int32(2))],
+        vias=[ViaGroup(kind="CT", net="a", count=np.int64(3))],
+    )
+    para = extract_cell(geom, ExtractionMode.FLAT)
+    net = para.net("a")
+    assert type(net.resistance_kohm) is float
+    assert type(net.capacitance_ff) is float
+    # 2 um of M1 plus a 3-contact group (parallel paths).
+    assert net.resistance_kohm == pytest.approx((4.2 * 2 + 8.0 / 3) / 1000)
+    assert net.capacitance_ff == pytest.approx(0.205 * 2 + 0.022 * 3)
+
+
+def test_extract_cell_empty_and_via_only_nets():
+    from repro.cells.geometry import CellGeometry, ViaGroup
+    from repro.extraction.rc import ExtractionMode, extract_cell
+
+    empty = CellGeometry(cell_name="E", node_name="45nm",
+                         width_um=1.0, height_um=1.0, is_3d=False)
+    para = extract_cell(empty, ExtractionMode.FLAT)
+    assert para.nets == {}
+    assert para.total_r_kohm == 0.0
+
+    via_only = CellGeometry(
+        cell_name="V", node_name="45nm", width_um=1.0, height_um=1.0,
+        is_3d=False, vias=[ViaGroup(kind="CT", net="n", count=0)])
+    para = extract_cell(via_only, ExtractionMode.FLAT)
+    net = para.net("n")
+    # A zero-count group contributes one full contact R and no C.
+    assert net.resistance_kohm == pytest.approx(8.0 / 1000.0)
+    assert net.capacitance_ff == 0.0
+
+
+def test_netmodel_degenerate_nets_match(aes_placed):
+    # With no pad positions, IO-only nets collapse below two placed pins
+    # and must come out (0, 0) from both the scalar and the bulk path;
+    # an empty batch must also be a no-op.
+    module, _floorplan = aes_placed
+    interconnect = _interconnect()
+    scalar_model = PlacedNetModel(module, interconnect)
+    bulk_model = PlacedNetModel(module, interconnect)
+    r, c = bulk_model.net_rc_bulk(module.nets, len(module.nets))
+    degenerate = 0
+    for net in module.nets:
+        rr, cc = scalar_model.net_rc(net)
+        assert r[net.index] == rr
+        assert c[net.index] == cc
+        if rr == 0.0 and cc == 0.0:
+            degenerate += 1
+    assert degenerate > 0
+
+    r0, c0 = PlacedNetModel(module, interconnect).net_rc_bulk(
+        [], len(module.nets))
+    assert not r0.any() and not c0.any()
