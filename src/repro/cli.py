@@ -26,9 +26,17 @@ store fsck|gc|stats    maintain the on-disk checkpoint store: verify and
                        unrepairable I/O errors), evict LRU entries down
                        to a budget (``gc``), or report inventory and
                        reclaimable space (``stats``)
+dse [CIRCUIT]          explore a declarative design space: sweep axes
+                       (``--set FIELD=V1,V2,...`` or ``--space FILE``),
+                       grid or adaptive-refinement strategy, weighted
+                       cost function, Pareto frontier with per-point
+                       checkpoint provenance; ``--json [PATH]`` emits
+                       the deterministic frontier report
 whatif CIRCUIT         digest-diff report of a parameter change (--set
                        KEY=VALUE) vs the base config: which flow stages
-                       would reuse their checkpoints and which recompute
+                       would reuse their checkpoints and which recompute;
+                       ``whatif --list`` prints every sweepable field and
+                       the stages it invalidates
 cells                  list the characterized library
 export-lib PATH        write the library as a Liberty .lib file
 export-layout CIRCUIT PATH    run the flow, write a JSON layout summary
@@ -446,6 +454,99 @@ def _coerce_config_value(text: str, default: object) -> object:
         return text
 
 
+def _cmd_dse(args: argparse.Namespace) -> int:
+    """Explore a declarative design space and report its Pareto front."""
+    from pathlib import Path
+
+    from repro.dse import (
+        Axis,
+        CostFunction,
+        DseEngine,
+        SweepSpace,
+        make_strategy,
+    )
+    from repro.flow.design_flow import FlowConfig
+
+    base = None
+    if args.circuit:
+        base = FlowConfig(circuit=args.circuit, node_name=args.node,
+                          is_3d=args.style == "tmi", scale=args.scale,
+                          target_clock_ns=args.clock)
+    axes = [Axis.parse(expression) for expression in args.axes]
+    if args.space:
+        space = SweepSpace.from_file(args.space, base=base)
+        if axes:
+            space = SweepSpace(space.base, list(space.axes) + axes)
+    else:
+        if base is None:
+            print("dse: name a circuit or give --space FILE",
+                  file=sys.stderr)
+            return 2
+        if not axes:
+            print("dse: declare at least one --set FIELD=V1,V2,... axis",
+                  file=sys.stderr)
+            return 2
+        space = SweepSpace(base, axes)
+
+    exponents = {}
+    for item in args.weight:
+        name, sep, value = item.partition("=")
+        if not sep:
+            print(f"bad --weight {item!r}; expected OBJECTIVE=EXPONENT",
+                  file=sys.stderr)
+            return 2
+        try:
+            exponents[name.strip()] = float(value)
+        except ValueError:
+            print(f"bad --weight {item!r}; exponent must be a number",
+                  file=sys.stderr)
+            return 2
+    objectives = [name.strip() for name in args.objectives.split(",")
+                  if name.strip()]
+    engine = DseEngine(
+        space,
+        objectives=objectives,
+        cost=CostFunction(exponents=exponents, mode=args.cost_mode,
+                          normalization=args.normalization),
+        strategy=make_strategy(args.strategy),
+        budget=args.budget,
+        jobs=args.jobs,
+    )
+    result = engine.explore()
+
+    if args.json == "-":
+        # Pure-JSON stdout: the deterministic frontier document only.
+        sys.stdout.write(result.to_json())
+    else:
+        title = (f"dse {space.base.circuit} {space.base.style()}: "
+                 + " x ".join(f"{axis.name}[{len(axis.values)}]"
+                              for axis in space.axes))
+        print(format_table(result.point_rows(), title))
+        print()
+        if result.provenance:
+            print(format_table(result.provenance_rows(),
+                               "frontier provenance (replay vs store)"))
+            print()
+        summary = result.summary()
+        print(f"{len(result.points)} evaluation(s) in {result.rounds} "
+              f"round(s), {result.dedup_skips} deduplicated, "
+              f"{result.cache_hits} stage checkpoint hit(s) on replay")
+        print(f"frontier: {summary['size']} point(s), hypervolume "
+              f"{summary['hypervolume']:.4f}, knee #{summary['knee']}, "
+              f"best #{summary['best']}")
+        if args.json:
+            path = Path(args.json)
+            if path.parent != Path("."):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(result.to_json())
+            print(f"wrote frontier report to {args.json}", file=sys.stderr)
+    if result.failures:
+        print(f"{len(result.failures)} point(s) failed (--keep-going)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_whatif(args: argparse.Namespace) -> int:
     """Digest-diff two configs: which stages a parameter change reruns."""
     import dataclasses
@@ -453,6 +554,14 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     from repro.flow import stagecache
     from repro.flow.design_flow import FlowConfig
 
+    if args.list:
+        print(format_table(stagecache.field_report(),
+                           "sweepable flow inputs (stage-digest registry)"))
+        print("any field above is a legal `repro dse --set` axis")
+        return 0
+    if not args.circuit:
+        print("whatif: name a circuit (or use --list)", file=sys.stderr)
+        return 2
     base = FlowConfig(circuit=args.circuit, node_name=args.node,
                       is_3d=args.style == "tmi", scale=args.scale,
                       target_clock_ns=args.clock)
@@ -678,12 +787,63 @@ def build_parser() -> argparse.ArgumentParser:
                       "space, quarantined entries, degradation state")
     ps.set_defaults(func=_cmd_store_stats)
 
+    p = sub.add_parser("dse",
+                       help="explore a declarative design space and "
+                            "report its Pareto frontier")
+    p.add_argument("circuit", nargs="?", default=None,
+                   choices=["fpu", "aes", "ldpc", "des", "m256"],
+                   help="base circuit (optional when --space names one)")
+    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--style", default="2d", choices=["2d", "tmi"])
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--clock", type=float, default=None,
+                   help="base target clock in ns (default: auto-closed)")
+    p.add_argument("--space", default=None, metavar="FILE",
+                   help="JSON space document "
+                        "{\"base\": {...}, \"axes\": {field: [v, ...]}}")
+    p.add_argument("--set", dest="axes", action="append", default=[],
+                   metavar="FIELD=V1,V2,...",
+                   help="sweep axis over a registered flow input "
+                        "(repeatable), e.g. --set pin_cap_scale=0.6,0.8,1")
+    p.add_argument("--objectives", default="power,delay",
+                   metavar="A,B,...",
+                   help="objectives to minimize (default: power,delay); "
+                        "known: power, delay, area, wirelength, leakage, "
+                        "net_power, slack")
+    p.add_argument("--strategy", default="grid",
+                   choices=["grid", "adaptive"],
+                   help="grid = full cartesian product; adaptive = coarse "
+                        "subgrid then bisection around the frontier")
+    p.add_argument("--budget", type=int, default=None, metavar="N",
+                   help="maximum number of evaluations")
+    p.add_argument("--weight", action="append", default=[],
+                   metavar="OBJECTIVE=EXPONENT",
+                   help="cost-function exponent (repeatable; default 1)")
+    p.add_argument("--cost-mode", default="product",
+                   choices=["product", "sum"],
+                   help="cost scalarization (default: product of "
+                        "normalized objectives ^ exponent)")
+    p.add_argument("--normalization", default="reference",
+                   choices=["reference", "minmax", "none"],
+                   help="objective normalization for the cost "
+                        "(reference = the evaluated set's ideal point)")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="PATH",
+                   help="emit the deterministic frontier report as JSON "
+                        "(to PATH, or stdout when no PATH is given)")
+    p.set_defaults(func=_cmd_dse)
+
     p = sub.add_parser("whatif",
                        help="which flow stages a parameter change would "
                             "reuse vs recompute (digest diff; runs "
                             "nothing)")
-    p.add_argument("circuit",
+    p.add_argument("circuit", nargs="?", default=None,
                    choices=["fpu", "aes", "ldpc", "des", "m256"])
+    p.add_argument("--list", action="store_true",
+                   help="print every sweepable FlowConfig field, the "
+                        "stages that read it, and the stages a change "
+                        "invalidates (the same registry that validates "
+                        "`repro dse` axes)")
     p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
     p.add_argument("--style", default="2d", choices=["2d", "tmi"])
     p.add_argument("--scale", type=float, default=0.1)

@@ -1,0 +1,42 @@
+"""Design-space exploration over the reproduced flow.
+
+Declarative sweeps (:mod:`~repro.dse.space`) over registered
+``FlowConfig`` inputs, cost scalarization (:mod:`~repro.dse.cost`),
+Pareto-front extraction and hypervolume summaries
+(:mod:`~repro.dse.pareto`), grid/adaptive strategies lowered into the
+deduplicated parallel planner (:mod:`~repro.dse.engine`), and
+deterministic frontier reports with per-point checkpoint provenance
+(:mod:`~repro.dse.report`).  The CLI front end is ``repro dse``.
+"""
+
+from repro.dse.cost import (        # noqa: F401
+    OBJECTIVES,
+    CostFunction,
+    Objective,
+    resolve_objectives,
+)
+from repro.dse.engine import (      # noqa: F401
+    STRATEGIES,
+    AdaptiveStrategy,
+    DseEngine,
+    EvaluatedPoint,
+    GridStrategy,
+    PointFailure,
+    make_strategy,
+)
+from repro.dse.pareto import (      # noqa: F401
+    dominates,
+    front_summary,
+    hypervolume,
+    knee_index,
+    normalize,
+    pareto_front,
+)
+from repro.dse.report import (      # noqa: F401
+    DseResult,
+)
+from repro.dse.space import (       # noqa: F401
+    Axis,
+    SweepSpace,
+    coerce_field_value,
+)

@@ -1,0 +1,175 @@
+"""Objectives and weighted cost functions over flow results.
+
+An :class:`Objective` names one scalar a sweep can optimize and how to
+extract it from a :class:`~repro.flow.design_flow.LayoutResult`.  All
+objectives are **minimized**; ``slack`` (the one higher-is-better
+quantity) is stored negated so the Pareto layer never needs a
+direction flag.
+
+A :class:`CostFunction` collapses an objective vector to one scalar
+for ranking — the rad_gen ``cost_fx_exps`` idiom: each metric is
+normalized, raised to its exponent, and combined as a product (or a
+weighted sum).  Normalization policies:
+
+* ``reference`` — divide by a reference point's values (the sweep's
+  base config); a cost of 1.0 means "exactly the base design", the
+  natural reading for sensitivity sweeps;
+* ``minmax`` — map each objective onto [0, 1] over the evaluated set
+  (sum mode's natural partner; product mode shifts by +1 so a best-in-
+  set objective does not zero the whole product);
+* ``none`` — raw values (only sensible when units already agree).
+
+The cost never influences which points are Pareto-optimal — it ranks
+them (``best`` in the frontier report) and gives scripts a single
+scalar to regress on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import DseError
+
+NORMALIZATIONS = ("reference", "minmax", "none")
+MODES = ("product", "sum")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One minimized scalar of a flow run."""
+
+    name: str
+    unit: str
+    describe: str
+    extract: Callable[[object], float]
+
+    def value(self, result: object) -> float:
+        return float(self.extract(result))
+
+
+OBJECTIVES: Dict[str, Objective] = {
+    objective.name: objective for objective in (
+        Objective("power", "mW", "total power",
+                  lambda r: r.power.total_mw),
+        Objective("delay", "ns", "achieved clock period",
+                  lambda r: r.clock_ns),
+        Objective("area", "um2", "core footprint",
+                  lambda r: r.footprint_um2),
+        Objective("wirelength", "um", "routed wirelength",
+                  lambda r: r.total_wirelength_um),
+        Objective("leakage", "mW", "leakage power",
+                  lambda r: r.power.leakage_mw),
+        Objective("net_power", "mW", "net (wire+pin) power",
+                  lambda r: r.power.net_mw),
+        # Negated slack: minimizing it prefers timing-clean designs.
+        Objective("slack", "-ps", "negated worst slack",
+                  lambda r: -r.wns_ps),
+    )
+}
+
+
+def resolve_objectives(names: Sequence[str]) -> List[Objective]:
+    """Map objective names to their definitions, preserving order."""
+    if len(names) < 2:
+        raise DseError("a design space needs at least two objectives "
+                       "(one scalar has no trade-off to explore)")
+    seen = set()
+    resolved = []
+    for name in names:
+        key = name.strip().lower()
+        if key not in OBJECTIVES:
+            known = ", ".join(sorted(OBJECTIVES))
+            raise DseError(f"unknown objective {name!r}; known: {known}")
+        if key in seen:
+            raise DseError(f"objective {name!r} listed twice")
+        seen.add(key)
+        resolved.append(OBJECTIVES[key])
+    return resolved
+
+
+class CostFunction:
+    """Weighted scalarization of an objective vector."""
+
+    def __init__(self, exponents: Optional[Dict[str, float]] = None,
+                 mode: str = "product",
+                 normalization: str = "reference"):
+        if mode not in MODES:
+            raise DseError(f"unknown cost mode {mode!r}; "
+                           f"expected one of {MODES}")
+        if normalization not in NORMALIZATIONS:
+            raise DseError(f"unknown normalization {normalization!r}; "
+                           f"expected one of {NORMALIZATIONS}")
+        exponents = dict(exponents or {})
+        for name, exponent in exponents.items():
+            if name not in OBJECTIVES:
+                known = ", ".join(sorted(OBJECTIVES))
+                raise DseError(f"cost exponent names unknown objective "
+                               f"{name!r}; known: {known}")
+            if not (float(exponent) == float(exponent)
+                    and abs(float(exponent)) != float("inf")):
+                raise DseError(f"cost exponent {name}={exponent!r} is "
+                               f"not finite")
+        self.exponents = {name: float(value)
+                          for name, value in exponents.items()}
+        self.mode = mode
+        self.normalization = normalization
+
+    def exponent(self, name: str) -> float:
+        """Unlisted objectives default to weight 1 — every objective of
+        the sweep participates unless explicitly down-weighted to 0."""
+        return self.exponents.get(name, 1.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "normalization": self.normalization,
+            "exponents": dict(sorted(self.exponents.items())),
+        }
+
+    # -- scoring -----------------------------------------------------------
+
+    def _normalized(self, vectors: Sequence[Sequence[float]],
+                    names: Sequence[str],
+                    reference: Optional[Sequence[float]]
+                    ) -> List[List[float]]:
+        if self.normalization == "none":
+            return [[float(x) for x in vector] for vector in vectors]
+        if self.normalization == "reference":
+            if reference is None:
+                raise DseError("reference normalization needs a "
+                               "reference point")
+            scales = [ref if ref != 0.0 else 1.0 for ref in reference]
+            return [[float(x) / scale
+                     for x, scale in zip(vector, scales)]
+                    for vector in vectors]
+        # minmax, shifted so product mode never multiplies by zero.
+        from repro.dse.pareto import normalize
+
+        normalized, _, _ = normalize(vectors)
+        shift = 1.0 if self.mode == "product" else 0.0
+        return [[x + shift for x in vector] for vector in normalized]
+
+    def score_all(self, vectors: Sequence[Sequence[float]],
+                  names: Sequence[str],
+                  reference: Optional[Sequence[float]] = None
+                  ) -> List[float]:
+        """Cost of every objective vector, normalized over the set."""
+        if not vectors:
+            return []
+        scores = []
+        for row in self._normalized(vectors, names, reference):
+            if self.mode == "product":
+                cost = 1.0
+                for name, value in zip(names, row):
+                    if value < 0.0:
+                        raise DseError(
+                            f"objective {name!r} is negative under "
+                            f"{self.normalization!r} normalization; use "
+                            f"normalization='minmax' for signed metrics")
+                    cost *= value ** self.exponent(name)
+            else:
+                cost = sum(self.exponent(name) * value
+                           for name, value in zip(names, row))
+            scores.append(cost)
+        return scores

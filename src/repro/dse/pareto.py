@@ -1,0 +1,152 @@
+"""Pareto-front extraction and frontier summaries.
+
+Everything here is pure arithmetic on objective tuples under
+**minimization** semantics (the cost layer negates any
+higher-is-better quantity before it gets here).  Point ``a`` dominates
+``b`` iff ``a`` is no worse in every objective and strictly better in
+at least one; the front is the set of points no other point dominates.
+Ties and duplicates are kept — two identical points do not dominate
+each other, so both stay on the front and the extraction is
+deterministic and order-preserving (front indices come back in input
+order).
+
+The frontier summary is hypervolume-style: the exact dominated
+hypervolume against a reference point, computed by recursive slicing
+along the first objective (the classic sweep in 2-D, the same
+recursion one dimension down for 3-D+).  Exponential-free and exact,
+fine for the front sizes a sweep produces.  Summaries normalize
+objectives to the evaluated set's min-max box and use the reference
+``(1.1, ..., 1.1)`` just outside the normalized nadir, so hypervolume
+is comparable across spaces and units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DseError
+
+Vector = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether ``a`` dominates ``b`` (minimization, strict somewhere)."""
+    if len(a) != len(b):
+        raise DseError(f"objective arity mismatch: {len(a)} vs {len(b)}")
+    return (all(x <= y for x, y in zip(a, b))
+            and any(x < y for x, y in zip(a, b)))
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    O(n²) pairwise — deterministic, duplicate-preserving, and fast at
+    sweep scale.  An empty input yields an empty front.
+    """
+    vectors = [tuple(float(x) for x in p) for p in points]
+    front: List[int] = []
+    for i, candidate in enumerate(vectors):
+        if not any(dominates(other, candidate)
+                   for j, other in enumerate(vectors) if j != i):
+            front.append(i)
+    return front
+
+
+def hypervolume(points: Sequence[Sequence[float]],
+                reference: Sequence[float]) -> float:
+    """Exact hypervolume dominated by ``points`` w.r.t. ``reference``.
+
+    The volume of the union of boxes ``[p, reference]`` over the points
+    that are within the reference (minimization: every coordinate
+    ``<=`` the reference's).  Points outside contribute nothing.
+    """
+    ref = tuple(float(r) for r in reference)
+    inside = sorted({tuple(float(x) for x in p) for p in points
+                     if len(p) == len(ref)
+                     and all(x <= r for x, r in zip(p, ref))})
+    return _union_volume(inside, ref)
+
+
+def _union_volume(points: List[Vector], ref: Vector) -> float:
+    """Volume of the union of boxes [p, ref] by slicing the first axis."""
+    if not points:
+        return 0.0
+    if len(ref) == 1:
+        return ref[0] - min(p[0] for p in points)
+    cuts = sorted({p[0] for p in points})
+    total = 0.0
+    for i, x in enumerate(cuts):
+        upper = cuts[i + 1] if i + 1 < len(cuts) else ref[0]
+        if upper <= x:
+            continue
+        tails = [p[1:] for p in points if p[0] <= x]
+        total += (upper - x) * _union_volume(sorted(set(tails)), ref[1:])
+    return total
+
+
+def normalize(points: Sequence[Sequence[float]]
+              ) -> Tuple[List[Vector], Vector, Vector]:
+    """Min-max normalize each objective over the set to [0, 1].
+
+    Returns ``(normalized points, ideal, nadir)`` where ideal/nadir are
+    the raw per-objective minima/maxima.  A degenerate objective (all
+    values equal) normalizes to 0.0 so it neither adds nor removes
+    hypervolume.
+    """
+    if not points:
+        return [], (), ()
+    arity = len(points[0])
+    ideal = tuple(min(float(p[k]) for p in points) for k in range(arity))
+    nadir = tuple(max(float(p[k]) for p in points) for k in range(arity))
+    spans = tuple(hi - lo for lo, hi in zip(ideal, nadir))
+    normalized = [
+        tuple((float(p[k]) - ideal[k]) / spans[k] if spans[k] > 0.0
+              else 0.0
+              for k in range(arity))
+        for p in points
+    ]
+    return normalized, ideal, nadir
+
+
+def knee_index(points: Sequence[Sequence[float]],
+               front: Sequence[int]) -> Optional[int]:
+    """The front member nearest the ideal point in normalized space.
+
+    The "knee" a designer would pick absent explicit weights; ties
+    break toward the earliest index for determinism.
+    """
+    if not front:
+        return None
+    normalized, _, _ = normalize(points)
+    best, best_distance = None, None
+    for index in front:
+        distance = sum(x * x for x in normalized[index])
+        if best_distance is None or distance < best_distance - 1e-15:
+            best, best_distance = index, distance
+    return best
+
+
+# Reference coordinate for the normalized hypervolume: just outside the
+# normalized nadir (1.0), so boundary front members still contribute.
+NORMALIZED_REFERENCE = 1.1
+
+
+def front_summary(points: Sequence[Sequence[float]],
+                  front: Sequence[int],
+                  names: Sequence[str]) -> Dict[str, object]:
+    """Hypervolume-style frontier summary over named objectives."""
+    if not front:
+        return {"size": 0, "ideal": {}, "nadir": {},
+                "hypervolume": 0.0, "knee": None}
+    normalized, ideal, nadir = normalize(points)
+    reference = (NORMALIZED_REFERENCE,) * len(names)
+    return {
+        "size": len(front),
+        "ideal": {name: round(value, 6)
+                  for name, value in zip(names, ideal)},
+        "nadir": {name: round(value, 6)
+                  for name, value in zip(names, nadir)},
+        "hypervolume": round(hypervolume(
+            [normalized[i] for i in front], reference), 6),
+        "knee": knee_index(points, front),
+    }

@@ -1,0 +1,164 @@
+"""Reproducible frontier reports for an exploration.
+
+:class:`DseResult` carries everything one :meth:`DseEngine.explore
+<repro.dse.engine.DseEngine.explore>` produced and renders it two ways:
+
+* :meth:`report` / :meth:`to_json` — the **canonical document**.  It is
+  deliberately free of wall-clock times, job counts, PIDs, and store
+  paths, so the same sweep emits byte-identical JSON regardless of how
+  many workers ran it or how fast they were.  CI diffs the ``--jobs 1``
+  and ``--jobs 2`` documents directly.  Per-point provenance (canonical
+  checkpoint key, frontier stage hit/miss counts, structural trace
+  digest, replay check) makes every number auditable against the store.
+* :meth:`point_rows` / :meth:`frontier_rows` / :meth:`provenance_rows`
+  — row dicts for the CLI's table renderer.
+
+Numeric values are rounded to six decimals in the document; that is
+well below any physically meaningful digit of the flow's outputs and
+keeps the JSON stable against representation noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.dse.cost import CostFunction
+from repro.dse.engine import EvaluatedPoint, PointFailure
+from repro.dse.pareto import front_summary
+from repro.dse.space import SweepSpace
+
+SCHEMA_VERSION = 1
+
+
+def _rounded(value: float) -> float:
+    return round(float(value), 6)
+
+
+@dataclass
+class DseResult:
+    """The outcome of one exploration."""
+
+    space: SweepSpace
+    objective_names: List[str]
+    cost: CostFunction
+    strategy: str
+    budget: Optional[int]
+    rounds: int
+    points: List[EvaluatedPoint]
+    front: List[int]
+    failures: List[PointFailure]
+    provenance: List[Dict[str, object]]
+    dedup_skips: int
+    cache_hits: int
+
+    # -- summaries ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Frontier summary plus the cost-ranked best member."""
+        vectors = [point.vector(self.objective_names)
+                   for point in self.points]
+        info = front_summary(vectors, self.front, self.objective_names)
+        info["best"] = self.best_index()
+        return info
+
+    def best_index(self) -> Optional[int]:
+        """The frontier member with the lowest cost (earliest on ties)."""
+        if not self.front:
+            return None
+        return min(self.front, key=lambda i: (self.points[i].cost, i))
+
+    # -- canonical document ------------------------------------------------
+
+    def report(self) -> Dict[str, object]:
+        """The deterministic frontier document (no wall/jobs/pids)."""
+        summary = self.summary()
+        return {
+            "schema": SCHEMA_VERSION,
+            "space": self.space.to_dict(),
+            "objectives": list(self.objective_names),
+            "cost": self.cost.to_dict(),
+            "strategy": self.strategy,
+            "budget": self.budget,
+            "rounds": self.rounds,
+            "evaluations": len(self.points),
+            "dedup_skips": self.dedup_skips,
+            "cache_hits": self.cache_hits,
+            "points": [
+                {
+                    "index": point.index,
+                    "assignment": dict(sorted(point.assignment.items())),
+                    "key": point.key,
+                    "objectives": {name: _rounded(value)
+                                   for name, value
+                                   in sorted(point.objectives.items())},
+                    "cost": _rounded(point.cost),
+                    "round": point.round,
+                    "source": point.source,
+                    "on_front": point.index in set(self.front),
+                }
+                for point in self.points
+            ],
+            "frontier": {
+                "indices": list(self.front),
+                "size": summary["size"],
+                "ideal": summary["ideal"],
+                "nadir": summary["nadir"],
+                "hypervolume": summary["hypervolume"],
+                "knee": summary["knee"],
+                "best": summary["best"],
+            },
+            "failures": [
+                {
+                    "assignment": dict(sorted(f.assignment.items())),
+                    "key": f.key,
+                    "error": f.error,
+                    "message": f.message,
+                }
+                for f in self.failures
+            ],
+            "provenance": list(self.provenance),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.report(), indent=2, sort_keys=True) + "\n"
+
+    # -- table rows --------------------------------------------------------
+
+    def _axis_names(self) -> List[str]:
+        return [axis.name for axis in self.space.axes]
+
+    def point_rows(self) -> List[Dict[str, object]]:
+        on_front = set(self.front)
+        best = self.best_index()
+        rows = []
+        for point in self.points:
+            row: Dict[str, object] = {"#": point.index}
+            for name in self._axis_names():
+                row[name] = point.assignment[name]
+            for name in self.objective_names:
+                row[name] = _rounded(point.objectives[name])
+            row["cost"] = _rounded(point.cost)
+            row["source"] = point.source
+            row["front"] = ("best" if point.index == best
+                            else "yes" if point.index in on_front
+                            else "")
+            rows.append(row)
+        return rows
+
+    def frontier_rows(self) -> List[Dict[str, object]]:
+        return [row for row in self.point_rows() if row["front"]]
+
+    def provenance_rows(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "#": row["index"],
+                "key": str(row["key"])[:20],
+                "stage hits": row["stage_hits"],
+                "stage misses": row["stage_misses"],
+                "trace digest": str(row["trace_digest"])[:16],
+                "replay": "ok" if row["replay_ok"] else "MISMATCH",
+            }
+            for row in self.provenance
+        ]

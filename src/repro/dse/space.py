@@ -1,0 +1,267 @@
+"""Declarative sweep spaces over :class:`~repro.flow.design_flow.FlowConfig`.
+
+A :class:`SweepSpace` is a base configuration plus a list of
+:class:`Axis` objects, each naming one ``FlowConfig`` field and the
+values it sweeps.  Validation goes through the stage-digest registry
+(:func:`repro.flow.stagecache.stages_reading`): an axis is legal only
+if some supervised stage's checkpoint key reads the field, so every
+dimension of the space is *provably* a real flow input — a typo'd or
+vestigial knob is rejected before anything runs, instead of silently
+sweeping a parameter the flow ignores.  ``repro whatif --list`` prints
+the same registry.
+
+Points enumerate as the cartesian product of the axes in declaration
+order (``itertools.product`` semantics: the last axis varies fastest),
+each point a ``dataclasses.replace`` of the base config.  Value
+coercion is type-driven off the ``FlowConfig`` field annotations so a
+JSON ``1`` lands as the ``1.0`` the canonical config hash expects —
+the planner's dedup relies on byte-identical keys.
+
+Spaces parse from two declarative forms:
+
+* ``Axis.parse(base, "pin_cap_scale=0.6,0.8,1.0")`` — the CLI's
+  repeatable ``--set`` flag;
+* :meth:`SweepSpace.from_dict` / :meth:`from_file` — a JSON document
+  ``{"base": {...}, "axes": {"field": [v1, v2, ...], ...}}``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import DseError
+from repro.flow import stagecache
+from repro.flow.design_flow import FlowConfig
+
+_CONFIG_FIELDS = {f.name: f for f in dataclasses.fields(FlowConfig)}
+
+
+def _field_kind(name: str) -> str:
+    """The scalar kind of a FlowConfig field: bool | int | float | str.
+
+    Derived from the field's annotation (``from __future__ import
+    annotations`` makes them strings), checking ``bool`` before ``int``
+    and both before ``float`` so ``Optional[bool]`` and ``int`` do not
+    fall through to the float branch.
+    """
+    annotation = str(_CONFIG_FIELDS[name].type)
+    for kind in ("bool", "int", "float"):
+        if kind in annotation:
+            return kind
+    return "str"
+
+
+def coerce_field_value(name: str, value: object) -> object:
+    """Coerce one axis/base value to the field's annotated type.
+
+    Accepts both text (CLI ``--set``) and JSON scalars; ``none``/``null``
+    map to ``None`` for optional fields.  The coercion is what keeps
+    canonical config hashes stable: ``"0.8"``, ``0.8`` and ``8e-1`` all
+    key identically once they are the same float.
+    """
+    if name not in _CONFIG_FIELDS:
+        known = ", ".join(sorted(_CONFIG_FIELDS))
+        raise DseError(f"unknown FlowConfig field {name!r}; known: {known}")
+    kind = _field_kind(name)
+    if isinstance(value, str):
+        text = value.strip()
+        if text.lower() in ("none", "null"):
+            return None
+        if kind == "bool":
+            if text.lower() not in ("true", "false", "0", "1"):
+                raise DseError(f"{name}: expected a boolean, got {value!r}")
+            return text.lower() in ("true", "1")
+        try:
+            if kind == "int":
+                return int(text)
+            if kind == "float":
+                return float(text)
+        except ValueError:
+            raise DseError(f"{name}: expected a {kind}, got {value!r}")
+        return text
+    if value is None:
+        return None
+    if kind == "bool":
+        if not isinstance(value, bool):
+            raise DseError(f"{name}: expected a boolean, got {value!r}")
+        return value
+    if isinstance(value, bool):
+        raise DseError(f"{name}: expected a {kind}, got {value!r}")
+    if kind == "int" and isinstance(value, (int, float)):
+        if float(value) != int(value):
+            raise DseError(f"{name}: expected an integer, got {value!r}")
+        return int(value)
+    if kind == "float" and isinstance(value, (int, float)):
+        return float(value)
+    if kind == "str" and isinstance(value, str):
+        return value
+    raise DseError(f"{name}: expected a {kind}, got {value!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Axis:
+    """One sweep dimension: a registered flow input and its values."""
+
+    name: str
+    values: Tuple[object, ...]
+
+    def __post_init__(self):
+        if not self.values:
+            raise DseError(f"axis {self.name!r} has no values")
+        try:
+            read_by = stagecache.stages_reading(self.name)
+        except KeyError:
+            read_by = ()
+        if self.name not in _CONFIG_FIELDS or not read_by:
+            known = ", ".join(stagecache.sweepable_fields())
+            raise DseError(
+                f"axis {self.name!r} is not a registered flow input "
+                f"(no stage digest reads it); sweepable fields: {known}")
+        coerced = tuple(coerce_field_value(self.name, v)
+                        for v in self.values)
+        object.__setattr__(self, "values", coerced)
+
+    @property
+    def refinable(self) -> bool:
+        """Whether adaptive refinement may bisect this axis (floats only:
+        midpoints of ints or category labels are not valid values)."""
+        return (_field_kind(self.name) == "float"
+                and all(isinstance(v, float) for v in self.values)
+                and len(set(self.values)) >= 2)
+
+    @property
+    def lo(self) -> float:
+        return min(self.values)
+
+    @property
+    def hi(self) -> float:
+        return max(self.values)
+
+    def stages_read(self) -> Tuple[str, ...]:
+        return stagecache.stages_reading(self.name)
+
+    def invalidates(self) -> Tuple[str, ...]:
+        return stagecache.invalidated_stages(self.name)
+
+    @classmethod
+    def parse(cls, expression: str) -> "Axis":
+        """Parse a CLI ``--set`` axis: ``FIELD=V1,V2,...``."""
+        name, sep, values = expression.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise DseError(f"bad axis {expression!r}; expected "
+                           f"FIELD=V1,V2,...")
+        return cls(name=name,
+                   values=tuple(v.strip() for v in values.split(",")
+                                if v.strip() != ""))
+
+
+class SweepSpace:
+    """A base config plus the axes swept around it."""
+
+    def __init__(self, base: FlowConfig, axes: Sequence[Axis]):
+        names = [axis.name for axis in axes]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise DseError(f"duplicate sweep axes: {', '.join(sorted(dupes))}")
+        self.base = base
+        self.axes: Tuple[Axis, ...] = tuple(axes)
+
+    @property
+    def size(self) -> int:
+        """Declared grid size (duplicate values within an axis count)."""
+        n = 1
+        for axis in self.axes:
+            n *= len(axis.values)
+        return n
+
+    def axis(self, name: str) -> Axis:
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        raise DseError(f"no axis named {name!r}")
+
+    def assignments(self) -> List[Dict[str, object]]:
+        """Every grid point as an ``{axis: value}`` dict, product order."""
+        if not self.axes:
+            return [{}]
+        return [dict(zip((a.name for a in self.axes), combo))
+                for combo in itertools.product(
+                    *(a.values for a in self.axes))]
+
+    def config_for(self, assignment: Dict[str, object]) -> FlowConfig:
+        """The flow configuration of one point of the space."""
+        coerced = {name: coerce_field_value(name, value)
+                   for name, value in assignment.items()}
+        return dataclasses.replace(self.base, **coerced)
+
+    def contains(self, assignment: Dict[str, object]) -> bool:
+        """Whether a (possibly refined) point stays inside the axis
+        ranges — refinement never extrapolates past the declared hull."""
+        for axis in self.axes:
+            value = assignment.get(axis.name)
+            if value is None:
+                return False
+            if axis.refinable and not (axis.lo <= value <= axis.hi):
+                return False
+            if not axis.refinable and value not in axis.values:
+                return False
+        return True
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "base": dataclasses.asdict(self.base),
+            "axes": {axis.name: list(axis.values) for axis in self.axes},
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object],
+                  base: Optional[FlowConfig] = None) -> "SweepSpace":
+        """Build a space from a JSON document, over an optional CLI base.
+
+        The document's ``base`` entries override ``base``'s fields; its
+        ``axes`` map each field to its value list.
+        """
+        if not isinstance(document, dict):
+            raise DseError("space document must be a JSON object")
+        overrides = document.get("base", {})
+        if not isinstance(overrides, dict):
+            raise DseError("space 'base' must be an object of "
+                           "FlowConfig fields")
+        axes_doc = document.get("axes", {})
+        if not isinstance(axes_doc, dict) or not axes_doc:
+            raise DseError("space 'axes' must map at least one field "
+                           "to a value list")
+        coerced = {name: coerce_field_value(name, value)
+                   for name, value in overrides.items()}
+        if base is None:
+            if "circuit" not in coerced:
+                raise DseError("space 'base' must name a circuit when "
+                               "no base config is given")
+            base = FlowConfig(**coerced)
+        elif coerced:
+            base = dataclasses.replace(base, **coerced)
+        axes = []
+        for name, values in axes_doc.items():
+            if not isinstance(values, (list, tuple)):
+                raise DseError(f"axis {name!r}: values must be a list")
+            axes.append(Axis(name=name, values=tuple(values)))
+        return cls(base=base, axes=axes)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path],
+                  base: Optional[FlowConfig] = None) -> "SweepSpace":
+        path = Path(path)
+        try:
+            document = json.loads(path.read_text())
+        except OSError as exc:
+            raise DseError(f"cannot read space file {path}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise DseError(f"space file {path} is not valid JSON: {exc}")
+        return cls.from_dict(document, base=base)

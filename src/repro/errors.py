@@ -23,6 +23,9 @@ Taxonomy
     ├── ``TimingError``            sign-off STA
     ├── ``PowerError``             power analysis
     ├── ``CheckpointError``        persistent checkpoint store failures
+    ├── ``DseError``               invalid design-space-exploration setup
+    │                              (unknown sweep axis, bad cost function,
+    │                              malformed space file)
     └── ``FlowError``              end-to-end flow failures
           ├── ``StageTimeoutError``    a supervised stage exceeded its
           │                            wall-clock budget
@@ -111,6 +114,15 @@ class PowerError(ReproError):
 
 class CheckpointError(ReproError):
     """Persistent checkpoint store failure (corrupt or unwritable entry)."""
+
+
+class DseError(ReproError):
+    """Invalid design-space-exploration setup.
+
+    Raised by :mod:`repro.dse` for axes that are not registered flow
+    inputs, malformed space files, unknown objectives, or cost-function
+    parameters that cannot be evaluated.
+    """
 
 
 class FlowError(ReproError):

@@ -236,6 +236,18 @@ def cached_flow(config: FlowConfig) -> LayoutResult:
     return value
 
 
+def flow_cached(key: str) -> bool:
+    """Whether a flow result for ``key`` is already warm.
+
+    True when the in-process memo or the bound persistent store holds
+    the whole-run result — the lookup the DSE engine uses to count an
+    evaluation as a cache hit before lowering it into the planner.
+    """
+    if key in _FLOW_CACHE:
+        return True
+    return _STORE is not None and key in _STORE
+
+
 def clear_caches(disk: bool = False) -> None:
     """Drop the in-process memos (and, with ``disk=True``, the store)."""
     _COMPARISON_CACHE.clear()

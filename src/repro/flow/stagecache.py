@@ -118,6 +118,64 @@ def placement_attempt_key(placement_digest: str, utilization: float,
     })
 
 
+# -- registry queries ------------------------------------------------------
+#
+# The single source of truth for "which FlowConfig fields are real flow
+# inputs, and what does changing one recompute" is STAGE_PARAMS +
+# STAGE_DEPS above.  Both `repro whatif --list` and the DSE engine's
+# axis validation (:mod:`repro.dse.space`) answer through these helpers,
+# so a field the digest chain does not cover can be neither listed nor
+# swept.
+
+def stages_reading(field: str) -> Tuple[str, ...]:
+    """Stages whose input key includes ``field`` directly."""
+    return tuple(stage for stage in _DIGEST_ORDER
+                 if field in STAGE_PARAMS[stage])
+
+
+def invalidated_stages(field: str) -> Tuple[str, ...]:
+    """Stages whose input digest changes when ``field`` changes.
+
+    The direct readers plus everything downstream of them through
+    :data:`STAGE_DEPS` — exactly the stages whose
+    :func:`stage_digests` entries differ between two configs that
+    disagree only on ``field``.
+    """
+    direct = set(stages_reading(field))
+    if not direct:
+        raise KeyError(f"{field!r} is not a registered flow input; "
+                       f"known fields: {', '.join(sweepable_fields())}")
+    invalid = set()
+    for stage in _DIGEST_ORDER:
+        if stage in direct or any(dep in invalid
+                                  for dep in STAGE_DEPS[stage]):
+            invalid.add(stage)
+    return tuple(stage for stage in _DIGEST_ORDER if stage in invalid)
+
+
+def sweepable_fields() -> Tuple[str, ...]:
+    """Every FlowConfig field the digest chain covers, sorted.
+
+    By the registry invariant (every config field appears in
+    :data:`STAGE_PARAMS`, tested in ``tests/test_stage_memo.py``) this
+    is the full set of sweepable flow inputs.
+    """
+    return tuple(sorted({name for params in STAGE_PARAMS.values()
+                         for name in params}))
+
+
+def field_report() -> List[Dict[str, object]]:
+    """One row per sweepable field: who reads it, what it invalidates.
+
+    The ``repro whatif --list`` table; the DSE space documentation
+    renders the same rows.
+    """
+    return [{"field": name,
+             "read by": ", ".join(stages_reading(name)),
+             "invalidates": ", ".join(invalidated_stages(name))}
+            for name in sweepable_fields()]
+
+
 # -- store binding ---------------------------------------------------------
 
 _STORE: Optional[CheckpointStore] = None

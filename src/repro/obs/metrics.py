@@ -58,6 +58,16 @@ CHECKPOINT_COUNTERS: Tuple[str, ...] = (
     "store.degraded",           # store flips to cache-off (ENOSPC etc.)
 )
 
+# Canonical counter names of the design-space-exploration engine
+# (:mod:`repro.dse`), plus the ``dse.frontier_size`` gauge.
+DSE_COUNTERS: Tuple[str, ...] = (
+    "dse.evaluations",          # sweep points actually evaluated
+    "dse.rounds",               # propose/evaluate/refine rounds run
+    "dse.dedup_skips",          # proposals collapsed onto evaluated keys
+    "dse.cache_hits",           # warm whole-run results + frontier-replay
+                                # stage checkpoint hits
+)
+
 
 class Counter:
     """Monotonically non-decreasing count."""

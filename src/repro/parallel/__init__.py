@@ -31,6 +31,7 @@ from repro.parallel.plan import (            # noqa: F401
     build_plan,
     comparison_task,
     flow_task,
+    flow_tasks,
 )
 from repro.parallel.pool import (            # noqa: F401
     ParallelEngine,

@@ -114,6 +114,25 @@ def flow_task(config: FlowConfig) -> TaskSpec:
     )
 
 
+def flow_tasks(configs: Iterable[FlowConfig]) -> List[TaskSpec]:
+    """Declare a batch of flow runs, deduplicated by canonical key.
+
+    The lowering used by the design-space-exploration engine: a round of
+    sweep points becomes one spec per *unique* configuration, so
+    overlapping points (shared grid corners, re-proposed refinements)
+    collapse before they ever reach the pool.
+    """
+    specs: List[TaskSpec] = []
+    seen = set()
+    for config in configs:
+        spec = flow_task(config)
+        if spec.key in seen:
+            continue
+        seen.add(spec.key)
+        specs.append(spec)
+    return specs
+
+
 class TaskGraph:
     """A deduplicated set of tasks plus unresolved deferred declarations."""
 

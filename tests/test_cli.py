@@ -145,3 +145,70 @@ def test_bench_report_creates_parent_dirs(tmp_path, capsys):
     assert rc == 0
     payload = json.loads(report.read_text())
     assert "row_digests" in payload and "table10" in payload["row_digests"]
+
+
+def test_whatif_list_prints_the_sweep_registry(capsys):
+    rc = main(["whatif", "--list"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pin_cap_scale" in out
+    assert "invalidates" in out
+    assert "repro dse" in out
+
+
+def test_whatif_without_circuit_or_list_is_usage_error(capsys):
+    rc = main(["whatif"])
+    assert rc == 2
+    assert "name a circuit" in capsys.readouterr().err
+
+
+def test_dse_requires_a_circuit_or_space(capsys):
+    rc = main(["dse"])
+    assert rc == 2
+    assert "name a circuit" in capsys.readouterr().err
+
+
+def test_dse_requires_an_axis(capsys):
+    rc = main(["dse", "fpu"])
+    assert rc == 2
+    assert "--set" in capsys.readouterr().err
+
+
+def test_dse_rejects_unknown_axis(capsys):
+    rc = main(["dse", "fpu", "--set", "no_such_knob=1,2"])
+    assert rc == 1
+    assert "not a registered flow input" in capsys.readouterr().err
+
+
+def test_dse_rejects_bad_weight(capsys):
+    rc = main(["dse", "fpu", "--set", "pi_activity=0.1,0.2",
+               "--weight", "power"])
+    assert rc == 2
+    assert "bad --weight" in capsys.readouterr().err
+
+
+def test_dse_tiny_sweep_emits_deterministic_frontier(tmp_path, capsys):
+    import json
+
+    from repro.experiments import runner
+
+    args = ["dse", "fpu", "--scale", "0.06",
+            "--set", "pi_activity=0.1,0.3",
+            "--objectives", "power,leakage"]
+    path_one = tmp_path / "one.json"
+    rc = main(args + ["--json", str(path_one)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "frontier" in out and "stage checkpoint hit(s)" in out
+    document = json.loads(path_one.read_text())
+    assert document["evaluations"] == 2
+    assert document["cache_hits"] > 0
+    assert document["frontier"]["indices"]
+    for row in document["provenance"]:
+        assert row["replay_ok"]
+    # Same sweep, cold caches: byte-identical report.
+    runner.clear_caches()
+    path_two = tmp_path / "two.json"
+    rc = main(args + ["--json", str(path_two)])
+    assert rc == 0
+    assert path_one.read_bytes() == path_two.read_bytes()

@@ -1,0 +1,195 @@
+"""Seeded property tests for Pareto extraction and frontier summaries.
+
+The properties are the definition itself: no front member is dominated,
+every dropped point is dominated by a front member, ties and duplicates
+survive, and the extraction is invariant under adding a dominated point.
+Hypothesis runs derandomized so CI is deterministic.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, seed, settings, strategies as st
+
+from repro.dse.pareto import (
+    NORMALIZED_REFERENCE,
+    dominates,
+    front_summary,
+    hypervolume,
+    knee_index,
+    normalize,
+    pareto_front,
+)
+from repro.errors import DseError
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+def vectors(arity):
+    return st.lists(st.tuples(*([finite] * arity)), min_size=1,
+                    max_size=24)
+
+
+# -- dominance -------------------------------------------------------------
+
+def test_dominates_definition():
+    assert dominates((1.0, 2.0), (2.0, 2.0))
+    assert dominates((1.0, 1.0), (2.0, 2.0))
+    assert not dominates((1.0, 2.0), (1.0, 2.0))      # equal: no
+    assert not dominates((1.0, 3.0), (2.0, 2.0))      # trade-off: no
+    assert not dominates((2.0, 2.0), (1.0, 2.0))
+
+
+def test_dominates_rejects_arity_mismatch():
+    with pytest.raises(DseError):
+        dominates((1.0,), (1.0, 2.0))
+
+
+# -- front extraction ------------------------------------------------------
+
+@seed(20130608)
+@settings(max_examples=120, derandomize=True, deadline=None)
+@given(vectors(2))
+def test_front_members_are_mutually_nondominated_2d(points):
+    front = pareto_front(points)
+    assert front, "a non-empty set always has a non-dominated point"
+    for i in front:
+        assert not any(dominates(points[j], points[i])
+                       for j in range(len(points)) if j != i)
+
+
+@seed(20130608)
+@settings(max_examples=80, derandomize=True, deadline=None)
+@given(vectors(3))
+def test_dropped_points_are_dominated_by_a_front_member_3d(points):
+    front = set(pareto_front(points))
+    for i, point in enumerate(points):
+        if i not in front:
+            assert any(dominates(points[j], point) for j in front)
+
+
+@seed(20130608)
+@settings(max_examples=80, derandomize=True, deadline=None)
+@given(vectors(2))
+def test_adding_a_dominated_point_never_changes_the_front(points):
+    front = pareto_front(points)
+    worst = tuple(max(p[k] for p in points) + 1.0 for k in range(2))
+    assert pareto_front(list(points) + [worst]) == front
+
+
+def test_duplicates_and_ties_all_stay_on_the_front():
+    points = [(1.0, 2.0), (2.0, 1.0), (1.0, 2.0), (3.0, 3.0)]
+    assert pareto_front(points) == [0, 1, 2]
+
+
+def test_degenerate_identical_set_is_all_front():
+    points = [(5.0, 5.0, 5.0)] * 4
+    assert pareto_front(points) == [0, 1, 2, 3]
+
+
+def test_front_indices_come_back_in_input_order():
+    points = [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0), (0.5, 4.0)]
+    assert pareto_front(points) == sorted(pareto_front(points))
+
+
+def test_empty_input_yields_empty_front():
+    assert pareto_front([]) == []
+
+
+def test_2d_front_matches_3d_with_constant_third_objective():
+    """A constant extra objective adds no trade-off: the front of the
+    lifted 3-D set must equal the 2-D front."""
+    points2 = [(1.0, 4.0), (2.0, 2.0), (3.0, 1.0), (3.0, 3.0), (2.5, 2.5)]
+    points3 = [(a, b, 7.0) for a, b in points2]
+    assert pareto_front(points3) == pareto_front(points2)
+
+
+# -- hypervolume -----------------------------------------------------------
+
+def test_hypervolume_single_point_is_its_box():
+    assert hypervolume([(0.25, 0.5)], (1.0, 1.0)) == pytest.approx(0.375)
+
+
+def test_hypervolume_union_not_sum():
+    # Overlapping boxes: 2 * 0.5 minus the 0.25 overlap.
+    assert hypervolume([(0.5, 0.0), (0.0, 0.5)],
+                       (1.0, 1.0)) == pytest.approx(0.75)
+
+
+def test_hypervolume_ignores_points_outside_the_reference():
+    assert hypervolume([(2.0, 2.0)], (1.0, 1.0)) == 0.0
+    assert hypervolume([(2.0, 0.0), (0.5, 0.5)],
+                       (1.0, 1.0)) == pytest.approx(0.25)
+
+
+def test_hypervolume_3d_exact():
+    # Two disjoint-dominance corners of the unit cube.
+    value = hypervolume([(0.5, 0.0, 0.5), (0.0, 0.5, 0.0)],
+                        (1.0, 1.0, 1.0))
+    assert value == pytest.approx(0.5 * 1.0 * 0.5
+                                  + 1.0 * 0.5 * 1.0
+                                  - 0.5 * 0.5 * 0.5)
+
+
+@seed(20130608)
+@settings(max_examples=60, derandomize=True, deadline=None)
+@given(st.lists(st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)),
+                min_size=1, max_size=12))
+def test_hypervolume_is_monotone_and_bounded(points):
+    ref = (1.0, 1.0)
+    base = hypervolume(points, ref)
+    assert 0.0 <= base <= 1.0 + 1e-12
+    grown = hypervolume(list(points) + [(0.0, 0.0)], ref)
+    assert grown >= base - 1e-12
+    # The front carries all the volume of the full set.
+    front = pareto_front(points)
+    assert hypervolume([points[i] for i in front],
+                       ref) == pytest.approx(base)
+
+
+# -- normalization / knee / summary ---------------------------------------
+
+@seed(20130608)
+@settings(max_examples=60, derandomize=True, deadline=None)
+@given(vectors(2))
+def test_normalize_maps_into_unit_box(points):
+    normalized, ideal, nadir = normalize(points)
+    assert len(normalized) == len(points)
+    for row in normalized:
+        for value in row:
+            assert -1e-12 <= value <= 1.0 + 1e-12
+    for k in range(2):
+        assert ideal[k] <= nadir[k]
+
+
+def test_normalize_degenerate_objective_is_zero():
+    normalized, _, _ = normalize([(3.0, 1.0), (3.0, 2.0)])
+    assert [row[0] for row in normalized] == [0.0, 0.0]
+
+
+def test_knee_is_a_front_member_nearest_the_ideal():
+    points = [(0.0, 10.0), (1.0, 1.0), (10.0, 0.0)]
+    front = pareto_front(points)
+    knee = knee_index(points, front)
+    assert knee in front
+    assert knee == 1
+
+
+def test_front_summary_shape():
+    points = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (4.0, 4.0)]
+    front = pareto_front(points)
+    summary = front_summary(points, front, ["power", "delay"])
+    assert summary["size"] == 3
+    assert summary["ideal"] == {"power": 1.0, "delay": 1.0}
+    assert summary["nadir"] == {"power": 4.0, "delay": 4.0}
+    assert summary["knee"] in front
+    box = NORMALIZED_REFERENCE ** 2
+    assert 0.0 < summary["hypervolume"] < box
+    assert not math.isnan(summary["hypervolume"])
+
+
+def test_front_summary_empty():
+    summary = front_summary([], [], ["power", "delay"])
+    assert summary == {"size": 0, "ideal": {}, "nadir": {},
+                       "hypervolume": 0.0, "knee": None}
