@@ -101,6 +101,47 @@ def use_persistent_cache(path: Union[str, Path, None] = None
     return _STORE
 
 
+def bind_store(store: Optional[CheckpointStore]
+               ) -> Optional[CheckpointStore]:
+    """Bind an existing store *instance* as the session cache.
+
+    Unlike :func:`use_persistent_cache` this does not construct a new
+    :class:`CheckpointStore`, so long-lived owners (the service
+    coordinator) keep one instance — and its degradation state — across
+    many executions, and can restore the previous binding afterwards.
+    Returns the previously bound store (``None`` if caching was off).
+    """
+    global _STORE
+    previous = _STORE
+    _STORE = store
+    if store is None:
+        stagecache.disable()
+    else:
+        stagecache.use_store(store)
+    return previous
+
+
+def swap_memos(state: Optional[tuple] = None) -> tuple:
+    """Swap the in-process memos out (and back in), returning the
+    previous contents as an opaque state tuple.
+
+    The service coordinator brackets every job with this: a job must
+    derive its result from the bound store, never from results the host
+    process happened to memoize earlier — and the job's own inserts and
+    failure records must not leak back into the host session.
+    """
+    previous = (dict(_COMPARISON_CACHE), dict(_FLOW_CACHE),
+                dict(_FAILED_TASKS))
+    comparison, flow, failed = state or ({}, {}, {})
+    _COMPARISON_CACHE.clear()
+    _COMPARISON_CACHE.update(comparison)
+    _FLOW_CACHE.clear()
+    _FLOW_CACHE.update(flow)
+    _FAILED_TASKS.clear()
+    _FAILED_TASKS.update(failed)
+    return previous
+
+
 def disable_persistent_cache() -> None:
     global _STORE
     _STORE = None

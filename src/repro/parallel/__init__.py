@@ -33,6 +33,14 @@ from repro.parallel.plan import (            # noqa: F401
     flow_task,
     flow_tasks,
 )
+from repro.parallel.backends import (        # noqa: F401
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.parallel.pool import (            # noqa: F401
     ParallelEngine,
     WorkerContext,

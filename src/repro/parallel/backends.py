@@ -1,0 +1,170 @@
+"""Pluggable execution backends for the parallel engine.
+
+The engine's job is *what* to run (the deduplicated task graph, crash
+retries, keep-going policy, observability merge); a backend's job is
+*where* the tasks execute.  Extracting that seam from
+:class:`~repro.parallel.pool.ParallelEngine` makes the execution
+substrate swappable — the service layer picks one per deployment, and a
+future remote-worker backend only has to implement this interface:
+
+* :class:`SerialBackend` — the tasks run inline in the calling process,
+  one after another.  Same code path the process workers run, so a
+  serial session is the reference behaviour everything else must match.
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor`` in this process.
+  The numerical kernels are GIL-bound, so this is not about CPU
+  parallelism; it exists for deployments that cannot fork (restricted
+  containers, embedded interpreters) and for I/O-shaped tasks that
+  mostly wait on warm checkpoint loads.
+* :class:`ProcessBackend` — the original ``ProcessPoolExecutor`` engine
+  with worker-crash recovery (pool rebuilds, bounded retry budget,
+  recovering results a dying worker managed to store).
+
+Every backend drains a ``pending`` map of :class:`_PendingTask` into the
+engine's ``records`` and returns the number of pool rebuilds it needed
+(always 0 for backends that cannot crash).  Results cross between tasks
+and the parent through the shared checkpoint store in all three cases,
+so the *rows* a session assembles afterwards are byte-identical no
+matter which backend ran the tasks — the backend-parity tests pin that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+if TYPE_CHECKING:                                      # pragma: no cover
+    from repro.parallel.pool import ParallelEngine, _PendingTask
+    from repro.parallel.report import TaskRecord
+
+
+class ExecutionBackend:
+    """Where tasks run.  Subclasses drain ``pending`` into ``records``."""
+
+    #: registry name (``ParallelEngine(backend="...")``, CLI ``--backend``)
+    name: str = "abstract"
+
+    def run(self, engine: "ParallelEngine",
+            pending: Dict[str, "_PendingTask"],
+            records: Dict[str, "TaskRecord"]) -> int:
+        """Execute every pending task; returns the pool-rebuild count."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SerialBackend(ExecutionBackend):
+    """Run the tasks inline, in order, in the calling process."""
+
+    name = "serial"
+
+    def run(self, engine, pending, records) -> int:
+        from repro.flow import stagecache
+        from repro.parallel import pool
+
+        previous = (pool._CONTEXT, pool._STORE)
+        previous_stage_store = stagecache.active_store()
+        pool._CONTEXT = engine._context()
+        pool._STORE = engine.store
+        stagecache.use_store(engine.store)
+        try:
+            for key in list(pending):
+                task = pending.pop(key)
+                engine._record(records, task,
+                               pool._execute_task(task.spec))
+        finally:
+            pool._CONTEXT, pool._STORE = previous
+            stagecache.use_store(previous_stage_store)
+        return 0
+
+
+class ThreadBackend(ExecutionBackend):
+    """Run the tasks on an in-process thread pool.
+
+    Threads share the engine's store/stage-cache bindings (both are
+    thread-safe: create-rename writes, GIL-atomic memo inserts).  Two
+    thread-specific adjustments versus the worker path:
+
+    * per-task tracer/metrics contexts are disabled — the obs installs
+      are process-global, so concurrent tasks would fight over them;
+      spans still land in the session's current tracer, whose span
+      stacks are thread-local.
+    * per-task stage walls are not collected — concurrent tasks append
+      to the same supervisor journal, so a slice of it cannot be
+      attributed to one task.
+    """
+
+    name = "thread"
+
+    def run(self, engine, pending, records) -> int:
+        from repro.flow import stagecache
+        from repro.parallel import pool
+
+        previous = (pool._CONTEXT, pool._STORE)
+        previous_stage_store = stagecache.active_store()
+        pool._CONTEXT = dataclasses.replace(engine._context(),
+                                            trace_enabled=False)
+        pool._STORE = engine.store
+        stagecache.use_store(engine.store)
+        tasks = [pending.pop(key) for key in list(pending)]
+        try:
+            with ThreadPoolExecutor(
+                    max_workers=min(max(1, engine.jobs),
+                                    max(1, len(tasks)))) as executor:
+                payloads = list(executor.map(
+                    lambda task: pool._execute_task(
+                        task.spec, collect_stages=False),
+                    tasks))
+        finally:
+            pool._CONTEXT, pool._STORE = previous
+            stagecache.use_store(previous_stage_store)
+        for task, payload in zip(tasks, payloads):
+            engine._record(records, task, payload)
+        return 0
+
+
+class ProcessBackend(ExecutionBackend):
+    """Run the tasks on a ``ProcessPoolExecutor`` with crash recovery."""
+
+    name = "process"
+
+    def run(self, engine, pending, records) -> int:
+        rebuilds = 0
+        context = engine._context()
+        while pending:
+            broke = engine._run_pool_round(pending, records, context)
+            if not broke:
+                break
+            rebuilds += 1
+            engine._absorb_crash(pending, records)
+        return rebuilds
+
+
+BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def make_backend(spec: Optional[Union[str, ExecutionBackend]],
+                 jobs: int = 1) -> ExecutionBackend:
+    """Resolve a backend: an instance passes through, a name looks up
+    the registry, and ``None`` keeps the historical default — processes
+    when the session asked for parallelism, serial otherwise."""
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        spec = ProcessBackend.name if jobs > 1 else SerialBackend.name
+    cls = BACKENDS.get(str(spec))
+    if cls is None:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown execution backend {spec!r}; "
+                         f"known: {known}")
+    return cls()
+
+
+def default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)

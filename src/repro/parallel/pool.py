@@ -149,7 +149,8 @@ def _ship_bundle(store: CheckpointStore, spec: TaskSpec,
     store.try_store(_trace_key(spec.key), bundle)
 
 
-def _execute_task(spec: TaskSpec) -> Dict[str, object]:
+def _execute_task(spec: TaskSpec,
+                  collect_stages: bool = True) -> Dict[str, object]:
     """Run one task in a worker; returns metadata, not the result.
 
     The result crosses the process boundary through the checkpoint store;
@@ -158,6 +159,10 @@ def _execute_task(spec: TaskSpec) -> Dict[str, object]:
     against a fresh tracer/registry/profiler and ships a
     :class:`TraceBundle` home through the store as well — the parent
     merges the bundles into one session trace after the run.
+
+    ``collect_stages=False`` skips per-task stage-wall attribution (the
+    thread backend shares one journal across concurrent tasks, so a
+    slice of it cannot be charged to one task).
     """
     from repro.runtime import faults
     from repro.runtime.supervisor import current_supervisor
@@ -195,7 +200,8 @@ def _execute_task(spec: TaskSpec) -> Dict[str, object]:
                     error=type(exc).__name__, message=str(exc),
                     repro_error=True,
                     wall_s=time.perf_counter() - start,
-                    stages=_stage_walls(journal, mark))
+                    stages=(_stage_walls(journal, mark)
+                            if collect_stages else {}))
         return base
     except Exception as exc:
         # A non-Repro exception is a genuine bug.  Contain it to the same
@@ -206,7 +212,8 @@ def _execute_task(spec: TaskSpec) -> Dict[str, object]:
                     error=type(exc).__name__, message=str(exc),
                     repro_error=False,
                     wall_s=time.perf_counter() - start,
-                    stages=_stage_walls(journal, mark))
+                    stages=(_stage_walls(journal, mark)
+                            if collect_stages else {}))
         return base
     finally:
         obs.close()
@@ -219,7 +226,8 @@ def _execute_task(spec: TaskSpec) -> Dict[str, object]:
     stored = store.try_store(spec.key, value) is not None
     base.update(status=STATUS_OK, cached=False, stored=stored,
                 wall_s=time.perf_counter() - start,
-                stages=_stage_walls(journal, mark))
+                stages=(_stage_walls(journal, mark)
+                        if collect_stages else {}))
     if not stored:
         base["value"] = value
     return base
@@ -243,7 +251,10 @@ class ParallelEngine:
                  keep_going: bool = False,
                  worker_faults: Sequence = (),
                  fault_label_filter: Optional[str] = None,
-                 warm_libraries: bool = True):
+                 warm_libraries: bool = True,
+                 backend: Optional[object] = None):
+        from repro.parallel.backends import make_backend
+
         self.store = store if store is not None else CheckpointStore()
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
@@ -252,6 +263,10 @@ class ParallelEngine:
         self.worker_faults = tuple(worker_faults)
         self.fault_label_filter = fault_label_filter
         self.warm_libraries = warm_libraries
+        # Where tasks execute: an ExecutionBackend instance, a registry
+        # name ("serial" | "thread" | "process"), or None for the
+        # historical default (processes when jobs > 1, else inline).
+        self.backend = make_backend(backend, jobs=self.jobs)
         self._values: Dict[str, object] = {}
 
     # -- results -----------------------------------------------------------
@@ -413,38 +428,13 @@ class ParallelEngine:
 
     def _run_batch(self, pending: Dict[str, _PendingTask],
                    records: Dict[str, TaskRecord]) -> int:
-        """Run every pending task to a record; returns pool rebuild count."""
-        if self.jobs <= 1:
-            self._run_inline(pending, records)
-            return 0
-        rebuilds = 0
-        context = self._context()
-        while pending:
-            broke = self._run_pool_round(pending, records, context)
-            if not broke:
-                break
-            rebuilds += 1
-            self._absorb_crash(pending, records)
-        return rebuilds
+        """Run every pending task to a record; returns pool rebuild count.
 
-    def _run_inline(self, pending: Dict[str, _PendingTask],
-                    records: Dict[str, TaskRecord]) -> None:
-        """jobs=1: same code path as the workers, in this process."""
-        from repro.flow import stagecache
-
-        global _CONTEXT, _STORE
-        previous = (_CONTEXT, _STORE)
-        previous_stage_store = stagecache.active_store()
-        _CONTEXT = self._context()
-        _STORE = self.store
-        stagecache.use_store(self.store)
-        try:
-            for key in list(pending):
-                task = pending.pop(key)
-                self._record(records, task, _execute_task(task.spec))
-        finally:
-            _CONTEXT, _STORE = previous
-            stagecache.use_store(previous_stage_store)
+        Delegated to the engine's pluggable execution backend
+        (:mod:`repro.parallel.backends`): inline serial, in-process
+        threads, or the crash-tolerant process pool.
+        """
+        return self.backend.run(self, pending, records)
 
     def _run_pool_round(self, pending: Dict[str, _PendingTask],
                         records: Dict[str, TaskRecord],

@@ -1,0 +1,109 @@
+"""A small urllib client for the repro service API.
+
+Used by the black-box test suites and handy from scripts/notebooks —
+the same stdlib-only discipline as the server: no ``requests``, no new
+dependency.  Every non-2xx response (and a ``wait`` timeout) raises
+:class:`~repro.errors.ServiceError` carrying the server's error body.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service.jobs import FINISHED_STATES
+
+
+class ServiceClient:
+    """Talk to one repro service at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None) -> object:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, method=method,
+                                         headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                doc = json.loads(exc.read().decode("utf-8"))
+                detail = f"{doc.get('error')}: {doc.get('message')}"
+            except Exception:
+                detail = exc.reason
+            raise ServiceError(
+                f"{method} {path} -> {exc.code}: {detail}") from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"{method} {path} failed: {exc.reason}") from None
+
+    # -- API surface -------------------------------------------------------
+
+    def submit(self, kind: str,
+               params: Optional[Dict[str, object]] = None
+               ) -> Dict[str, object]:
+        """``POST /jobs``; returns the acceptance document."""
+        return self._request("POST", "/jobs",
+                             {"kind": kind, "params": params or {}})
+
+    def job(self, key: str) -> Dict[str, object]:
+        """``GET /jobs/<key>``: the full record, result included."""
+        return self._request("GET", f"/jobs/{key}")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def trace(self, key: str) -> Dict[str, object]:
+        return self._request("GET", f"/jobs/{key}/trace")
+
+    def metrics(self) -> Dict[str, object]:
+        return self._request("GET", "/metrics")
+
+    def store_stats(self) -> Dict[str, object]:
+        return self._request("GET", "/store/stats")
+
+    def store_fsck(self) -> Dict[str, object]:
+        return self._request("GET", "/store/fsck")
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    # -- conveniences ------------------------------------------------------
+
+    def wait(self, key: str, timeout_s: float = 120.0,
+             poll_s: float = 0.05) -> Dict[str, object]:
+        """Poll until the job reaches a finished state; returns the
+        record.  Raises :class:`ServiceError` on timeout."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.job(key)
+            if record["state"] in FINISHED_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {key!r} still {record['state']!r} after "
+                    f"{timeout_s:g} s")
+            time.sleep(poll_s)
+
+    def run(self, kind: str,
+            params: Optional[Dict[str, object]] = None,
+            timeout_s: float = 120.0) -> Dict[str, object]:
+        """Submit and wait — the one-call form."""
+        accepted = self.submit(kind, params)
+        return self.wait(accepted["key"], timeout_s=timeout_s)

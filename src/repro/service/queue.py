@@ -1,0 +1,196 @@
+"""Persistent job queue + registry for the service coordinator.
+
+One :class:`JobQueue` owns every :class:`~repro.service.jobs.JobRecord`
+the service knows about, the FIFO of keys waiting for the coordinator,
+and the **journal** — an append-only JSONL file recording every
+submission and state transition.  The journal is the queue's crash
+story: a service killed mid-drain replays it on boot, keeps finished
+jobs visible (their result payloads live in the checkpoint store under
+:func:`~repro.service.jobs.result_key`), and re-enqueues anything that
+was ``queued`` or ``running`` when the lights went out.
+
+Concurrency model: HTTP handler threads call :meth:`submit` /
+:meth:`get`; the single coordinator worker calls :meth:`next_job` /
+:meth:`update`.  One lock + condition serializes all of it — the
+operations are dict/deque manipulations, microseconds against the
+seconds a flow run takes.
+
+Dedup discipline: submissions are keyed by the canonical job key.  A
+duplicate of a *live* job (queued/running) coalesces — ``submissions``
+grows, no new execution — which is what makes N concurrent identical
+submissions race to exactly one run.  A duplicate of a *finished* job
+re-enqueues it; the re-run replays against the warm stage checkpoints,
+so it completes with pure cache hits (asserted end-to-end by the
+black-box service tests).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.service.jobs import (
+    LIVE_STATES,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    JobRecord,
+)
+
+logger = logging.getLogger(__name__)
+
+JOURNAL_NAME = "jobs.jsonl"
+
+
+class JobQueue:
+    """Registry + FIFO + journal (see module docstring)."""
+
+    def __init__(self, journal_dir: Optional[Path] = None):
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._records: Dict[str, JobRecord] = {}
+        self._fifo: Deque[str] = deque()
+        self._journal_path: Optional[Path] = None
+        if journal_dir is not None:
+            journal_dir = Path(journal_dir)
+            journal_dir.mkdir(parents=True, exist_ok=True)
+            self._journal_path = journal_dir / JOURNAL_NAME
+            self._replay()
+
+    # -- journal -----------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Optional[Path]:
+        return self._journal_path
+
+    def _append_journal(self, event: str, record: JobRecord) -> None:
+        """Best-effort append; a sick disk must not fail the submission
+        (the in-memory registry stays authoritative for this process)."""
+        if self._journal_path is None:
+            return
+        entry = {"t": time.time(), "event": event,
+                 "job": record.summary()}
+        if event == "submit":
+            entry["params"] = record.params
+        try:
+            with open(self._journal_path, "a") as stream:
+                stream.write(json.dumps(entry, sort_keys=True,
+                                        default=str) + "\n")
+        except OSError as exc:
+            logger.warning("job journal write failed (%s); registry "
+                           "continues in memory", exc)
+
+    def _replay(self) -> None:
+        """Rebuild the registry from the journal (last snapshot wins)."""
+        if not self._journal_path.exists():
+            return
+        params_by_key: Dict[str, Dict[str, object]] = {}
+        snapshots: Dict[str, Dict[str, object]] = {}
+        try:
+            with open(self._journal_path) as stream:
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue          # torn tail line of a crash
+                    doc = entry.get("job") or {}
+                    key = doc.get("key")
+                    if not key:
+                        continue
+                    if entry.get("event") == "submit":
+                        params_by_key[key] = entry.get("params") or {}
+                    snapshots[key] = doc
+        except OSError as exc:
+            logger.warning("could not replay job journal (%s)", exc)
+            return
+        recovered = 0
+        for key, doc in snapshots.items():
+            record = JobRecord.from_summary(
+                doc, params=params_by_key.get(key))
+            if record.state in LIVE_STATES:
+                # Killed mid-queue or mid-run: run it (again) from the
+                # top — the warm store makes the replay cheap.
+                record.state = STATE_QUEUED
+                self._fifo.append(key)
+                recovered += 1
+            self._records[key] = record
+        if self._records:
+            logger.info("job journal replayed: %d job(s), %d re-enqueued",
+                        len(self._records), recovered)
+
+    # -- submission / lookup ----------------------------------------------
+
+    def submit(self, kind: str, key: str,
+               params: Dict[str, object]) -> Tuple[JobRecord, bool]:
+        """Register a submission; returns ``(record, coalesced)``.
+
+        ``coalesced`` is True when an identical live job absorbed this
+        submission (no new execution).  Finished jobs are re-enqueued.
+        """
+        with self._ready:
+            record = self._records.get(key)
+            if record is not None and record.live:
+                record.submissions += 1
+                self._append_journal("coalesce", record)
+                return record, True
+            if record is not None:
+                record.submissions += 1
+                record.state = STATE_QUEUED
+                record.error = None
+                record.message = ""
+                record.degraded_reason = ""
+            else:
+                record = JobRecord(key=key, kind=kind, params=params)
+                self._records[key] = record
+            self._fifo.append(key)
+            self._append_journal("submit", record)
+            self._ready.notify_all()
+            return record, False
+
+    def get(self, key: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(key)
+
+    def jobs(self) -> List[JobRecord]:
+        with self._lock:
+            return sorted(self._records.values(),
+                          key=lambda r: r.created_s)
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._fifo)
+
+    # -- coordinator side --------------------------------------------------
+
+    def next_job(self, timeout_s: float = 0.2) -> Optional[JobRecord]:
+        """Block up to ``timeout_s`` for the next queued job; mark it
+        running and return it (``None`` on timeout)."""
+        with self._ready:
+            if not self._fifo:
+                self._ready.wait(timeout_s)
+            while self._fifo:
+                key = self._fifo.popleft()
+                record = self._records.get(key)
+                if record is None or record.state != STATE_QUEUED:
+                    continue              # stale FIFO entry
+                record.state = STATE_RUNNING
+                record.started_s = time.time()
+                record.runs += 1
+                self._append_journal("start", record)
+                return record
+            return None
+
+    def update(self, record: JobRecord, state: str) -> None:
+        """Finish (or re-state) a job and journal the transition."""
+        with self._ready:
+            record.state = state
+            record.finished_s = time.time()
+            self._append_journal("finish", record)
+            self._ready.notify_all()

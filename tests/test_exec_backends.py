@@ -1,0 +1,100 @@
+"""Parity and selection tests for the pluggable execution backends.
+
+The contract: the serial, thread, and process backends are pure
+execution strategies — same task graph in, byte-identical experiment
+rows out, results exchanged through the same checkpoint store.  This
+extends the jobs=1 vs jobs=2 determinism idiom of
+``test_parallel_pool.py`` across the whole backend axis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments import table04_45nm_summary as table4
+from repro.parallel import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    TaskGraph,
+    ThreadBackend,
+    make_backend,
+)
+
+SCALE = 0.04
+
+
+@pytest.fixture(autouse=True)
+def _fresh_session():
+    runner.clear_caches()
+    runner.set_keep_going(False)
+    runner.clear_session_errors()
+    yield
+    runner.clear_caches()
+    runner.set_keep_going(False)
+    runner.clear_session_errors()
+
+
+def _rows_via(backend: str, jobs: int):
+    """Prefetch the shared-run table4 graph on one backend, then
+    assemble the rows; returns (rows_digest, engine_report)."""
+    runner.clear_caches()
+    graph = TaskGraph(table4.declare_tasks(circuits=("fpu",), scale=SCALE))
+    report = runner.prefetch(graph, jobs=jobs, backend=backend)
+    rows = table4.run(circuits=("fpu",), scale=SCALE)
+    digest = json.dumps(rows, sort_keys=True, default=str)
+    return digest, report
+
+
+def test_backends_produce_identical_rows():
+    digest_serial, report_serial = _rows_via("serial", jobs=1)
+    digest_thread, report_thread = _rows_via("thread", jobs=2)
+    digest_process, report_process = _rows_via("process", jobs=2)
+
+    assert digest_serial == digest_thread == digest_process
+    for report in (report_serial, report_thread, report_process):
+        assert report.n_ok == len(report.records) == 1
+
+    # serial and thread execute in this very process; the process
+    # backend dispatches to pool workers
+    parent = os.getpid()
+    assert report_serial.records[0].pid == parent
+    assert report_thread.records[0].pid == parent
+    assert report_process.records[0].pid != parent
+
+
+def test_backend_results_flow_through_shared_store():
+    # After a thread-backend prefetch the rows assemble without any
+    # recompute: the cached_* layer sees every task result.
+    digest, report = _rows_via("thread", jobs=2)
+    assert report.records[0].status == "ok"
+    rows_again = table4.run(circuits=("fpu",), scale=SCALE)
+    assert json.dumps(rows_again, sort_keys=True, default=str) == digest
+
+
+def test_make_backend_selection_rules():
+    assert isinstance(make_backend(None, jobs=1), SerialBackend)
+    assert isinstance(make_backend(None, jobs=4), ProcessBackend)
+    assert isinstance(make_backend("serial", jobs=8), SerialBackend)
+    assert isinstance(make_backend("thread"), ThreadBackend)
+    assert isinstance(make_backend("process"), ProcessBackend)
+    # an already-built backend passes through untouched
+    backend = ThreadBackend()
+    assert make_backend(backend) is backend
+
+
+def test_make_backend_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        make_backend("fibers")
+    assert set(BACKENDS) == {"serial", "thread", "process"}
+
+
+def test_backend_describe_names():
+    for name, cls in BACKENDS.items():
+        backend = cls()
+        assert backend.name == name
+        assert name in backend.describe()

@@ -60,6 +60,29 @@ def test_rows_identical_sequential_vs_parallel_prefetch():
             == json.dumps(rows_par, sort_keys=True, default=str))
 
 
+def test_engine_thread_backend_matches_inline(tmp_path):
+    """The engine produces the same stored result on the thread backend
+    as inline — same store entry, same comparison numbers."""
+    spec = comparison_task("fpu", scale=SCALE)
+
+    store_a = CheckpointStore(tmp_path / "inline")
+    inline = ParallelEngine(store=store_a, jobs=1)
+    assert [r.status for r in
+            inline.execute(TaskGraph([spec])).records] == ["ok"]
+
+    store_b = CheckpointStore(tmp_path / "threaded")
+    threaded = ParallelEngine(store=store_b, jobs=2, backend="thread")
+    report = threaded.execute(TaskGraph([spec]))
+    assert [r.status for r in report.records] == ["ok"]
+    # thread tasks run in-process
+    assert report.records[0].pid == os.getpid()
+
+    row_a = inline.result(spec).summary_row()
+    row_b = threaded.result(spec).summary_row()
+    assert (json.dumps(row_a, sort_keys=True, default=str)
+            == json.dumps(row_b, sort_keys=True, default=str))
+
+
 def test_inline_engine_reuses_store_and_serves_results(tmp_path):
     store = CheckpointStore(tmp_path)
     spec = comparison_task("fpu", scale=SCALE)
