@@ -23,6 +23,10 @@ library the paper folds):
 Layer name conventions match the paper's Fig. 2: ``P``/``PB`` poly (top /
 bottom tier), ``M1``/``MB1`` first metal, ``CT``/``CTB`` contacts, ``MIV``
 inter-tier vias, ``DSCT`` direct source/drain contacts (Fig. 5(c)).
+N-tier folds name the middle tiers ``PB2``/``MB2``/``CTB2``/``PCB2`` and
+up, counting from the bottom; the top tier always keeps the unsuffixed
+``P``/``M1``/``CT``/``PC`` names so a 2-tier fold is byte-identical to
+the paper's convention.
 """
 
 from __future__ import annotations
@@ -87,6 +91,9 @@ class CellGeometry:
     # Transistor-area usage per tier, um^2 (3D balance check of Sec. 3.2).
     bottom_tier_device_area_um2: float = 0.0
     top_tier_device_area_um2: float = 0.0
+    # Device tiers of the fold (2D geometry keeps the single-tier default
+    # of 2 so existing artifacts compare unchanged; only N>2 folds differ).
+    tiers: int = 2
 
     @property
     def footprint_um2(self) -> float:

@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, List, Optional
 
 from repro.errors import LibraryError
 from repro.cells.netlist import CellNetlist, is_sequential_type
+from repro.cells.folding import FOLD_DEFAULT, FoldSpec
 from repro.cells.geometry import CellGeometry
 from repro.characterize.liberty import CellCharacterization
 from repro.tech.node import TechNode
@@ -158,13 +159,24 @@ class CellTimingMeta:
 class CellLibrary:
     """A characterized standard-cell library for one node + style."""
 
-    def __init__(self, name: str, node: TechNode, is_3d: bool) -> None:
+    def __init__(self, name: str, node: TechNode, is_3d: bool,
+                 fold: FoldSpec = FOLD_DEFAULT) -> None:
         self.name = name
         self.node = node
         self.is_3d = is_3d
+        self.fold = fold
         self._cells: Dict[str, Cell] = {}
         self._by_type: Dict[str, List[Cell]] = {}
         self._timing_meta: Dict[str, CellTimingMeta] = {}
+
+    @property
+    def row_height_um(self) -> float:
+        """Placement row height: the folded height for T-MI libraries
+        (exactly ``node.tmi_cell_height_um`` at the default 2-tier fold),
+        the 2D cell height otherwise."""
+        if self.is_3d:
+            return self.fold.folded_height_um(self.node)
+        return self.node.cell_height_um
 
     # -- construction --------------------------------------------------------
 
@@ -255,7 +267,7 @@ class CellLibrary:
         if factor <= 0.0:
             raise LibraryError("pin-cap scale factor must be positive")
         clone = CellLibrary(f"{self.name}-pincap{factor:g}", self.node,
-                            self.is_3d)
+                            self.is_3d, fold=self.fold)
         for cell in self:
             new_pins = {
                 name: Pin(pin.name, pin.direction, pin.cap_ff * factor

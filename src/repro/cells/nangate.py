@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import LibraryError
 from repro.cells.netlist import build_cell_netlist
 from repro.cells.geometry import build_cell_geometry_2d
-from repro.cells.folding import fold_cell_geometry
+from repro.cells.folding import FOLD_DEFAULT, FoldSpec, fold_cell_geometry
 from repro.cells.library import Cell, CellLibrary, Pin, PinDirection
 from repro.extraction.rc import (
     CellParasitics,
@@ -78,13 +78,14 @@ def cell_count() -> int:
 
 def build_cell(cell_type: str, strength: float, node: TechNode,
                is_3d: bool, characterizer: str = "analytic",
-               char_setup: Optional[CharacterizationSetup] = None) -> Cell:
+               char_setup: Optional[CharacterizationSetup] = None,
+               fold: FoldSpec = FOLD_DEFAULT) -> Cell:
     """Build one fully characterized cell."""
     name = f"{cell_type}_X{strength:g}"
     netlist = build_cell_netlist(cell_type, float(strength), node=node,
                                  cell_name=name)
     if is_3d:
-        geometry = fold_cell_geometry(netlist, node)
+        geometry = fold_cell_geometry(netlist, node, fold)
         parasitics = _average_3d_parasitics(geometry, node)
     else:
         geometry = build_cell_geometry_2d(netlist, node)
@@ -157,16 +158,19 @@ def _average_3d_parasitics(geometry, node) -> CellParasitics:
 
 def build_nangate_library(node: TechNode = NODE_45NM, is_3d: bool = False,
                           characterizer: str = "analytic",
-                          cell_subset: Optional[List[Tuple[str, float]]] = None
+                          cell_subset: Optional[List[Tuple[str, float]]] = None,
+                          fold: FoldSpec = FOLD_DEFAULT
                           ) -> CellLibrary:
     """Build the full (or a subset) library for one node + style.
 
     ``cell_subset`` limits construction to specific (type, strength)
     pairs — used by cell-level studies that only need a few cells.
+    ``fold`` selects the T-MI fold (tier count / style / MIV keep-out);
+    it is ignored for 2D libraries.
     """
     style = "T-MI" if is_3d else "2D"
     library = CellLibrary(name=f"nangate-{node.name}-{style}", node=node,
-                          is_3d=is_3d)
+                          is_3d=is_3d, fold=fold)
     wanted = None
     if cell_subset is not None:
         wanted = {(t, float(s)) for t, s in cell_subset}
@@ -175,5 +179,5 @@ def build_nangate_library(node: TechNode = NODE_45NM, is_3d: bool = False,
             if wanted is not None and (cell_type, float(strength)) not in wanted:
                 continue
             library.add(build_cell(cell_type, float(strength), node, is_3d,
-                                   characterizer=characterizer))
+                                   characterizer=characterizer, fold=fold))
     return library

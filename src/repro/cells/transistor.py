@@ -180,11 +180,46 @@ _PMOS_7 = DeviceParams(
     ioff_na_per_um=80.0,
 )
 
+# ASAP7 (the ASU 7 nm predictive PDK): RVT FinFET flavour.  Compared to
+# the PTM-MG HP set above: higher Vth and ~3x lower off-current (ASAP7's
+# RVT corner targets SoC power budgets, not server HP), slightly lower
+# effective current density, and the same matched P/N mobility that all
+# advanced-channel FinFETs share.
+_NMOS_ASAP7 = DeviceParams(
+    name="nmos_asap7",
+    is_pmos=False,
+    vth=0.25,
+    alpha=1.05,
+    k_sat_ua_per_um=2700.0,
+    k_vdsat=0.55,
+    channel_lambda=0.02,
+    gate_cap_ff_per_um=1.30,
+    sd_cap_ff_per_um=0.80,
+    subthreshold_swing_mv=68.0,
+    ioff_na_per_um=30.0,
+)
+
+_PMOS_ASAP7 = DeviceParams(
+    name="pmos_asap7",
+    is_pmos=True,
+    vth=0.25,
+    alpha=1.05,
+    k_sat_ua_per_um=2700.0 * 0.98,
+    k_vdsat=0.55,
+    channel_lambda=0.02,
+    gate_cap_ff_per_um=1.30,
+    sd_cap_ff_per_um=0.80,
+    subthreshold_swing_mv=68.0,
+    ioff_na_per_um=27.0,
+)
+
 _PARAMS = {
     ("45nm", False): _NMOS_45,
     ("45nm", True): _PMOS_45,
     ("7nm", False): _NMOS_7,
     ("7nm", True): _PMOS_7,
+    ("asap7", False): _NMOS_ASAP7,
+    ("asap7", True): _PMOS_ASAP7,
 }
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.cells.folding import fold_cell_geometry
+from repro.cells.folding import FOLD_DEFAULT, fold_cell_geometry
 from repro.check.findings import AuditFinding, SEV_ERROR
 from repro.circuits.netlist import Module
 
@@ -115,8 +115,9 @@ def check_folded_mivs(library) -> Tuple[List[AuditFinding], int]:
     checks += 1
     mismatched: List[str] = []
     no_crossing: List[str] = []
+    fold = getattr(library, "fold", FOLD_DEFAULT)
     for cell in library:
-        refolded = fold_cell_geometry(cell.netlist, library.node)
+        refolded = fold_cell_geometry(cell.netlist, library.node, fold)
         if refolded.miv_count != cell.geometry.miv_count:
             mismatched.append(cell.name)
         if len(cell.netlist.devices) >= 2 \

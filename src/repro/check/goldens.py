@@ -33,9 +33,10 @@ from typing import Dict, List, Optional, Sequence
 GOLDEN_SCHEMA = 1
 
 # The corpus: every all-numbers paper table/figure the flow reproduces
-# end to end (Tables 2/4/7/13/14/16, Figs 3/4).
+# end to end (Tables 2/4/7/13/14/16, Figs 3/4), plus the scenario-space
+# extensions (4-tier fold, mesh NoC).
 GOLDEN_EXPERIMENTS = ("table2", "table4", "table7", "table13", "table14",
-                      "table16", "fig3", "fig4")
+                      "table16", "fig3", "fig4", "scn4t", "scnnoc")
 
 # Number-bearing string cells: "+41.7%", "-12.3", "0.25 ns", "1.28x".
 _NUMERIC_RE = re.compile(r"^\s*([+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"

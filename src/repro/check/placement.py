@@ -28,6 +28,7 @@ from repro.check.findings import (
 )
 from repro.circuits.netlist import Module
 from repro.place.floorplan import Floorplan
+from repro.tech.miv import koz_footprint_um2
 
 STAGE = "placement"
 
@@ -40,6 +41,9 @@ OVERLAP_WARNING_FRACTION = 0.02
 OVERLAP_ERROR_FRACTION = 0.10
 # Actual placed density must stay at or below 100 % of the core.
 DENSITY_ERROR = 1.0 + 1.0e-6
+# MIV keep-out zones may block at most this fraction of a folded cell's
+# footprint; beyond it the devices no longer fit beside their vias.
+KOZ_BLOCKED_ERROR_FRACTION = 0.5
 # How many offending object ids a finding carries at most.
 MAX_OBJECTS = 8
 
@@ -92,8 +96,10 @@ def check_placement(module: Module, library, floorplan: Floorplan
 
     # 1. Row height matches the integration style (tier assignment).
     checks += 1
-    expected_h = (library.node.tmi_cell_height_um if library.is_3d
-                  else library.node.cell_height_um)
+    expected_h = getattr(library, "row_height_um", None)
+    if expected_h is None:
+        expected_h = (library.node.tmi_cell_height_um if library.is_3d
+                      else library.node.cell_height_um)
     if abs(row_h - expected_h) > EPS_UM:
         findings.append(AuditFinding(
             check="placement.row_height", severity=SEV_ERROR, stage=STAGE,
@@ -168,5 +174,37 @@ def check_placement(module: Module, library, floorplan: Floorplan
                 message=(f"cell area exceeds the core area "
                          f"({density:.2%} density)"),
                 measured=density, bound=1.0))
+
+    # 6. MIV keep-out zones leave room for the devices (3D only).
+    checks += 1
+    fold = getattr(library, "fold", None)
+    if library.is_3d and fold is not None:
+        per_miv_um2 = koz_footprint_um2(library.node, fold.koz_diameters)
+        blocked: List[str] = []
+        worst = 0.0
+        for cell_name in sorted({i.cell_name for i in module.instances}):
+            cell = library.cell(cell_name)
+            area = cell.area_um2
+            if area <= 0.0:
+                continue
+            # ``miv_count`` is one MIV per tier boundary crossed, and
+            # each crossing lands (and blocks) on the two tiers it
+            # joins, out of ``tiers`` stacked device planes sharing the
+            # footprint.  At 2 tiers the factor 2/tiers is 1 and this
+            # is the legacy single-plane fraction.
+            fraction = (cell.geometry.miv_count * per_miv_um2 * 2.0
+                        / (area * fold.tiers))
+            worst = max(worst, fraction)
+            if fraction > KOZ_BLOCKED_ERROR_FRACTION:
+                blocked.append(cell_name)
+        if blocked:
+            findings.append(AuditFinding(
+                check="placement.koz", severity=SEV_ERROR, stage=STAGE,
+                message=(f"MIV keep-out zones block more than "
+                         f"{KOZ_BLOCKED_ERROR_FRACTION:.0%} of "
+                         f"{len(blocked)} cell footprint(s) at "
+                         f"koz={fold.koz_diameters:g} diameters"),
+                objects=tuple(blocked[:MAX_OBJECTS]),
+                measured=worst, bound=KOZ_BLOCKED_ERROR_FRACTION))
 
     return findings, checks

@@ -11,6 +11,7 @@ from repro.circuits.generators.aes import generate_aes
 from repro.circuits.generators.ldpc import generate_ldpc
 from repro.circuits.generators.des import generate_des
 from repro.circuits.generators.m256 import generate_m256
+from repro.circuits.generators.noc import generate_noc
 
 BENCHMARKS: Dict[str, Callable[..., Module]] = {
     "fpu": generate_fpu,
@@ -18,6 +19,7 @@ BENCHMARKS: Dict[str, Callable[..., Module]] = {
     "ldpc": generate_ldpc,
     "des": generate_des,
     "m256": generate_m256,
+    "noc": generate_noc,
 }
 
 # Paper cell counts at 45 nm (Table 12), for scale bookkeeping.
@@ -59,4 +61,5 @@ __all__ = [
     "generate_ldpc",
     "generate_des",
     "generate_m256",
+    "generate_noc",
 ]

@@ -1,0 +1,128 @@
+"""Mesh NoC: a side x side grid of 5-port wormhole routers.
+
+The scenario-space workload (not a Table 12 paper benchmark): a
+parameterized network-on-chip whose wiring character is dominated by
+regular medium-range channels between neighbouring routers — the
+opposite of the benchmarks' locally-clustered random logic — and whose
+size scales quadratically with the mesh side, reaching 10-100x the
+scaled-down paper netlists the experiments run.
+
+Each router has five ports (N/E/S/W/local).  Per port: a flit-wide
+input register bank; per router: a route-compute block (random logic
+over the header bits of every registered input) producing the crossbar
+selects; per output port: a MUX2 tree per flit bit choosing among the
+four other input ports.  Output channels feed the neighbouring
+router's input registers; boundary channels terminate at the module
+pins.  First-row routers inject traffic from primary inputs; all other
+routers loop their local output back into their local input through
+the register bank (sequentially valid — the registers break the loop).
+
+``scale`` sets the mesh side as ``round(8 * sqrt(scale))`` (minimum 2),
+so cell count grows ~linearly with ``scale`` like the other
+generators.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Tuple
+
+from repro.circuits.netlist import Module
+from repro.circuits.generators.common import CircuitBuilder
+
+# Mesh side at scale=1.0 (8x8 = 64 routers, ~40k cells).
+MESH_SIDE_FULL = 8
+# Flit width of every channel, bits.
+FLIT_WIDTH = 16
+# Header bits per input port that route-compute looks at.
+HEADER_BITS = 4
+# Route-compute gates per router port.
+ROUTE_GATES_PER_PORT = 60
+# Port order is load-bearing: crossbar select wiring follows it.
+PORTS = ("N", "E", "S", "W", "L")
+# Mesh direction deltas (x grows east, y grows north).
+_DELTA = {"N": (0, 1), "E": (1, 0), "S": (0, -1), "W": (-1, 0)}
+_OPPOSITE = {"N": "S", "S": "N", "E": "W", "W": "E"}
+
+
+def noc_mesh_side(scale: float) -> int:
+    """Routers per mesh edge at the given scale."""
+    return max(2, int(round(MESH_SIDE_FULL * math.sqrt(scale))))
+
+
+def generate_noc(scale: float = 1.0, seed: int = 4001,
+                 flit_width: int = FLIT_WIDTH) -> Module:
+    """Generate the mesh-NoC workload at the given scale."""
+    side = noc_mesh_side(scale)
+    b = CircuitBuilder(f"noc_{side}x{side}")
+    rng = random.Random(seed)
+
+    # Channel wires: (x, y, port) -> the flit entering that router on
+    # that port.  Created up front so crossbars can drive them later.
+    chan: Dict[Tuple[int, int, str], List[int]] = {}
+    for y in range(side):
+        for x in range(side):
+            for port in ("N", "E", "S", "W"):
+                chan[(x, y, port)] = [b.wire() for _ in range(flit_width)]
+            if y == 0:
+                chan[(x, y, "L")] = b.inputs(f"inj_{x}", flit_width)
+            else:
+                chan[(x, y, "L")] = [b.wire() for _ in range(flit_width)]
+
+    for y in range(side):
+        for x in range(side):
+            # Input register banks, one per port.
+            regs = {port: b.register_bus(chan[(x, y, port)])
+                    for port in PORTS}
+
+            # Route compute: header bits of every port drive the
+            # crossbar selects (3 per output port).
+            headers = [bit for port in PORTS
+                       for bit in regs[port][:HEADER_BITS]]
+            block_seed = seed * 7919 + (y * side + x)
+            selects = b.random_logic(
+                headers, 3 * len(PORTS),
+                ROUTE_GATES_PER_PORT * len(PORTS),
+                random.Random(block_seed), locality=5)
+
+            # Crossbar: per output port, a MUX2 tree per flit bit over
+            # the four other input ports.
+            for p_idx, out_port in enumerate(PORTS):
+                cands = [regs[port] for port in PORTS if port != out_port]
+                s0, s1, s2 = selects[3 * p_idx: 3 * p_idx + 3]
+                if out_port == "L":
+                    # First-row routers eject to module pins; others
+                    # loop local-out back into their local input.
+                    target = None if y == 0 \
+                        else chan[(x, y, "L")]
+                else:
+                    dx, dy = _DELTA[out_port]
+                    nx, ny = x + dx, y + dy
+                    if 0 <= nx < side and 0 <= ny < side:
+                        target = chan[(nx, ny, _OPPOSITE[out_port])]
+                    else:
+                        # Reflecting boundary: the flit bounces back
+                        # into this router's input on the same side,
+                        # so every channel has a driver.
+                        target = chan[(x, y, out_port)]
+                for k in range(flit_width):
+                    m0 = b.gate("MUX2", [cands[0][k], cands[1][k], s0])
+                    m1 = b.gate("MUX2", [cands[2][k], cands[3][k], s1])
+                    out = target[k] if target is not None else None
+                    bit = b.gate("MUX2", [m0, m1, s2], out=out)
+                    if target is None:
+                        # Boundary / ejection channel: module pin.
+                        b.output(bit)
+
+    # Sprinkle a few long-range "monitor" taps so the netlist is not
+    # perfectly local: XOR a random pair of far-apart ejection headers.
+    taps = min(side, 4)
+    for t in range(taps):
+        xa, ya = rng.randrange(side), rng.randrange(side)
+        xb, yb = rng.randrange(side), rng.randrange(side)
+        a = chan[(xa, ya, "N")][t % flit_width]
+        c = chan[(xb, yb, "S")][t % flit_width]
+        b.output(b.dff(b.gate("XOR2", [a, c])))
+
+    return b.finish()

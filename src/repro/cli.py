@@ -76,29 +76,86 @@ import importlib
 import sys
 from typing import List, Optional
 
+from repro.cells.folding import FOLD_STYLES
+from repro.circuits.generators import BENCHMARKS
 from repro.errors import ReproError
 from repro.experiments import EXPERIMENTS
 from repro.flow.reports import format_table
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.obs import trace as obs_trace
+from repro.tech.miv import MIV_KOZ_DEFAULT
+from repro.tech.node import node_names
 
 # Default experiment set for `repro bench`: the group that shares the
 # five 45 nm comparisons (the session with the most dedup to exploit).
 BENCH_DEFAULT = ("table4", "table13", "table16", "fig3")
 
+# Argument choices derive from the registries, so a new benchmark
+# generator or technology node is immediately addressable everywhere.
+CIRCUIT_CHOICES = sorted(BENCHMARKS)
+NODE_CHOICES = node_names()
+# The five paper benchmarks (Table 12) — the default audit set; the
+# scenario workloads opt in by name.
+PAPER_CIRCUITS = ("fpu", "aes", "ldpc", "des", "m256")
+
+
+def _add_scenario_args(p) -> None:
+    """The scenario knobs shared by flow-running commands."""
+    p.add_argument("--tiers", type=int, default=2,
+                   help="T-MI fold tier count (default 2, the paper)")
+    p.add_argument("--fold-style", default="pn", choices=list(FOLD_STYLES),
+                   help="how device polarities map to tiers (default pn)")
+    p.add_argument("--koz", type=float, default=MIV_KOZ_DEFAULT,
+                   help="MIV keep-out, in MIV diameters beyond the via "
+                        f"(default {MIV_KOZ_DEFAULT})")
+
+
+def _scenario_kwargs(args: argparse.Namespace) -> dict:
+    """Non-default scenario knobs as FlowConfig kwargs.
+
+    Defaults are omitted so the paper scenario's cache keys (and rows)
+    stay byte-identical to a pre-scenario invocation.
+    """
+    kwargs = {}
+    if getattr(args, "tiers", 2) != 2:
+        kwargs["tiers"] = args.tiers
+    if getattr(args, "fold_style", "pn") != "pn":
+        kwargs["fold_style"] = args.fold_style
+    if getattr(args, "koz", MIV_KOZ_DEFAULT) != MIV_KOZ_DEFAULT:
+        kwargs["miv_koz_diameters"] = args.koz
+    return kwargs
+
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments.runner import cached_comparison
 
+    circuit, node, scale = args.circuit, args.node, args.scale
+    extra = _scenario_kwargs(args)
+    if args.scenario:
+        from repro.flow.scenario import get_scenario
+
+        spec = get_scenario(args.scenario)
+        circuit = circuit or spec.circuit
+        node, scale = spec.node_name, spec.scale
+        # Non-default knobs only, like _scenario_kwargs: the paper
+        # scenario must hit the same cache keys as a bare invocation.
+        defaults = {"tiers": 2, "fold_style": "pn",
+                    "miv_koz_diameters": MIV_KOZ_DEFAULT}
+        extra = {k: v for k, v in spec.knobs().items()
+                 if k in defaults and v != defaults[k]}
+    elif circuit is None:
+        print("compare: name a circuit or a --scenario", file=sys.stderr)
+        return 2
     cmp = cached_comparison(
-        args.circuit,
-        node_name=args.node,
-        scale=args.scale,
+        circuit,
+        node_name=node,
+        scale=scale,
         target_clock_ns=args.clock,
+        **extra,
     )
     print(format_table(cmp.detail_rows(),
-                       f"{args.circuit.upper()} at {args.node}, "
+                       f"{circuit.upper()} at {node}, "
                        f"clock {cmp.clock_ns:.2f} ns"))
     print()
     print(format_table([cmp.summary_row()], "T-MI vs 2D (% difference)"))
@@ -312,7 +369,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.flow.design_flow import FlowConfig, run_flow
     from repro.runtime.supervisor import current_supervisor
 
-    circuits = args.circuits or ["fpu", "aes", "ldpc", "des", "m256"]
+    circuits = args.circuits or list(PAPER_CIRCUITS)
+    scenario_kwargs = _scenario_kwargs(args)
     supervisor = current_supervisor()
     report = AuditReport()
     with audit_mod.capture_artifacts() as bucket:
@@ -321,14 +379,14 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                 start = len(bucket)
                 run_iso_performance_comparison(
                     circuit, node_name=args.node, scale=args.scale,
-                    target_clock_ns=args.clock)
+                    target_clock_ns=args.clock, **scenario_kwargs)
                 art_2d, art_3d = bucket[start], bucket[start + 1]
                 report.merge(audit_mod.audit_pair(art_2d, art_3d))
             else:
                 config = FlowConfig(
                     circuit=circuit, node_name=args.node,
                     is_3d=args.style == "tmi", scale=args.scale,
-                    target_clock_ns=args.clock)
+                    target_clock_ns=args.clock, **scenario_kwargs)
                 label = f"{circuit}@{args.node}-{config.style()}"
                 with supervisor.run_context(label):
                     run_flow(config)
@@ -473,7 +531,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     if args.circuit:
         base = FlowConfig(circuit=args.circuit, node_name=args.node,
                           is_3d=args.style == "tmi", scale=args.scale,
-                          target_clock_ns=args.clock)
+                          target_clock_ns=args.clock,
+                          **_scenario_kwargs(args))
     axes = [Axis.parse(expression) for expression in args.axes]
     if args.space:
         space = SweepSpace.from_file(args.space, base=base)
@@ -631,7 +690,8 @@ def _cmd_export_layout(args: argparse.Namespace) -> int:
     from repro.flow.export import write_layout_json
 
     config = FlowConfig(circuit=args.circuit, node_name=args.node,
-                        is_3d=args.style == "tmi", scale=args.scale)
+                        is_3d=args.style == "tmi", scale=args.scale,
+                        **_scenario_kwargs(args))
     result = run_flow(config)
     with open(args.path, "w") as stream:
         write_layout_json(result, stream)
@@ -737,12 +797,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compare", help="iso-performance 2D vs T-MI run")
-    p.add_argument("circuit",
-                   choices=["fpu", "aes", "ldpc", "des", "m256"])
-    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("circuit", nargs="?", default=None,
+                   choices=CIRCUIT_CHOICES)
+    p.add_argument("--node", default="45nm", choices=NODE_CHOICES)
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--clock", type=float, default=None,
                    help="target clock in ns (default: auto-closed)")
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="run a named ScenarioSpec (overrides circuit/"
+                        "node/scale and the fold knobs)")
+    _add_scenario_args(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("experiment",
@@ -777,7 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "exit 1 on any error finding")
     p.add_argument("circuits", nargs="*", metavar="CIRCUIT",
                    help="benchmarks to audit (default: all five)")
-    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--node", default="45nm", choices=NODE_CHOICES)
     p.add_argument("--style", default="both",
                    choices=["both", "2d", "tmi"],
                    help="audit one style, or the iso-performance pair "
@@ -791,6 +855,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "audit must then fail)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the structured findings report to PATH")
+    _add_scenario_args(p)
     p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser("goldens",
@@ -834,9 +899,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="explore a declarative design space and "
                             "report its Pareto frontier")
     p.add_argument("circuit", nargs="?", default=None,
-                   choices=["fpu", "aes", "ldpc", "des", "m256"],
+                   choices=CIRCUIT_CHOICES,
                    help="base circuit (optional when --space names one)")
-    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--node", default="45nm", choices=NODE_CHOICES)
     p.add_argument("--style", default="2d", choices=["2d", "tmi"])
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--clock", type=float, default=None,
@@ -874,6 +939,7 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="PATH",
                    help="emit the deterministic frontier report as JSON "
                         "(to PATH, or stdout when no PATH is given)")
+    _add_scenario_args(p)
     p.set_defaults(func=_cmd_dse)
 
     p = sub.add_parser("whatif",
@@ -881,13 +947,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "reuse vs recompute (digest diff; runs "
                             "nothing)")
     p.add_argument("circuit", nargs="?", default=None,
-                   choices=["fpu", "aes", "ldpc", "des", "m256"])
+                   choices=CIRCUIT_CHOICES)
     p.add_argument("--list", action="store_true",
                    help="print every sweepable FlowConfig field, the "
                         "stages that read it, and the stages a change "
                         "invalidates (the same registry that validates "
                         "`repro dse` axes)")
-    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--node", default="45nm", choices=NODE_CHOICES)
     p.add_argument("--style", default="2d", choices=["2d", "tmi"])
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--clock", type=float, default=None,
@@ -911,32 +977,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("cells", help="list the characterized library")
-    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--node", default="45nm", choices=NODE_CHOICES)
     p.add_argument("--style", default="2d", choices=["2d", "tmi"])
     p.set_defaults(func=_cmd_cells)
 
     p = sub.add_parser("export-lib", help="write a Liberty .lib file")
     p.add_argument("path")
-    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--node", default="45nm", choices=NODE_CHOICES)
     p.add_argument("--style", default="2d", choices=["2d", "tmi"])
     p.set_defaults(func=_cmd_export_lib)
 
     p = sub.add_parser("export-layout",
                        help="run the flow and write a JSON layout summary")
     p.add_argument("circuit",
-                   choices=["fpu", "aes", "ldpc", "des", "m256"])
+                   choices=CIRCUIT_CHOICES)
     p.add_argument("path")
-    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--node", default="45nm", choices=NODE_CHOICES)
     p.add_argument("--style", default="2d", choices=["2d", "tmi"])
     p.add_argument("--scale", type=float, default=0.1)
+    _add_scenario_args(p)
     p.set_defaults(func=_cmd_export_layout)
 
     p = sub.add_parser("export-verilog",
                        help="write a benchmark netlist as Verilog")
     p.add_argument("circuit",
-                   choices=["fpu", "aes", "ldpc", "des", "m256"])
+                   choices=CIRCUIT_CHOICES)
     p.add_argument("path")
-    p.add_argument("--node", default="45nm", choices=["45nm", "7nm"])
+    p.add_argument("--node", default="45nm", choices=NODE_CHOICES)
     p.add_argument("--scale", type=float, default=0.1)
     p.set_defaults(func=_cmd_export_verilog)
     return parser

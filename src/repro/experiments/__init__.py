@@ -42,6 +42,9 @@ EXPERIMENTS = {
     "fig8": "fig08_aes_snapshots",
     "fig10": "fig10_layer_usage",
     "fig11": "fig11_switching_activity",
+    # Scenario-space extensions (no paper reference).
+    "scn4t": "scn_quad_tier",
+    "scnnoc": "scn_noc_mesh",
 }
 
 __all__ = ["cached_comparison", "cached_flow", "DEFAULT_SCALES",

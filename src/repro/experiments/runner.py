@@ -54,6 +54,9 @@ DEFAULT_SCALES: Dict[str, float] = {
     "ldpc": 0.12,
     "des": 0.15,
     "m256": 0.06,
+    # Scenario workload (not a paper benchmark): a 3x3 router mesh,
+    # ~5.6k cells — comparable to the scaled paper netlists above.
+    "noc": 0.1,
 }
 
 _COMPARISON_CACHE: Dict[str, ComparisonResult] = {}

@@ -132,59 +132,79 @@ def _scale_factors(node: TechNode):
     return r_per_um, 1.0, scale
 
 
+def _is_poly_layer(layer: str) -> bool:
+    """Poly layers: P (top tier), PB (bottom), PB2.. (middle tiers)."""
+    return layer == "P" or layer.startswith("PB")
+
+
+def _is_metal_layer(layer: str) -> bool:
+    """Cell metal layers: M1 (top tier), MB1 (bottom), MB2.. (middle)."""
+    return layer == "M1" or layer.startswith("MB")
+
+
 def _unit_r_ohm_per_um(layer: str, node: TechNode) -> float:
     r_scale, _, scale = _scale_factors(node)
-    if layer in ("P", "PB"):
+    if _is_poly_layer(layer):
         poly_width = POLY_WIDTH_45_UM * scale
         return node.poly_sheet_ohm_sq / poly_width
-    if layer in ("M1", "MB1"):
+    if _is_metal_layer(layer):
         return M1_R_OHM_PER_UM_45 * r_scale
     raise ExtractionError(f"unknown cell-internal layer {layer!r}")
 
 
 def _unit_c_ff_per_um(layer: str, node: TechNode) -> float:
-    if layer in ("P", "PB"):
+    if _is_poly_layer(layer):
         return POLY_CAP_FF_PER_UM_45
-    if layer in ("M1", "MB1"):
+    if _is_metal_layer(layer):
         return M1_CAP_FF_PER_UM_45
     raise ExtractionError(f"unknown cell-internal layer {layer!r}")
+
+
+def _via_base(kind: str, ct_value: float, pc_value: float,
+              dsct_value: float) -> float:
+    """Base 45 nm value of a contact kind; per-tier suffixed kinds
+    (CTB2, PCB3, ...) classify with their unsuffixed family."""
+    if kind == "DSCT":
+        return dsct_value
+    if kind == "CT" or kind.startswith("CTB"):
+        return ct_value
+    if kind == "PC" or kind.startswith("PCB"):
+        return pc_value
+    raise ExtractionError(f"unknown via kind {kind!r}")
 
 
 def _via_r_ohm(kind: str, node: TechNode) -> float:
     scale = node.geometry_scale
     contact_scale = node.contact_resistance_ohm / 12.0 if scale != 1.0 else 1.0
-    base = {
-        "CT": CONTACT_R_OHM_45,
-        "CTB": CONTACT_R_OHM_45,
-        "PC": POLY_CONTACT_R_OHM_45,
-        "PCB": POLY_CONTACT_R_OHM_45,
-        "DSCT": DIRECT_SD_CONTACT_R_OHM_45,
-    }
     if kind == "MIV":
         return MIVModel(node).resistance_ohm
-    if kind not in base:
-        raise ExtractionError(f"unknown via kind {kind!r}")
-    return base[kind] * contact_scale
+    base = _via_base(kind, CONTACT_R_OHM_45, POLY_CONTACT_R_OHM_45,
+                     DIRECT_SD_CONTACT_R_OHM_45)
+    return base * contact_scale
 
 
 def _via_c_ff(kind: str, node: TechNode) -> float:
     scale = node.geometry_scale
-    base = {
-        "CT": CONTACT_C_FF_45,
-        "CTB": CONTACT_C_FF_45,
-        "PC": POLY_CONTACT_C_FF_45,
-        "PCB": POLY_CONTACT_C_FF_45,
-        "DSCT": DIRECT_SD_CONTACT_C_FF_45,
-    }
     if kind == "MIV":
         return MIVModel(node).capacitance_ff
-    if kind not in base:
-        raise ExtractionError(f"unknown via kind {kind!r}")
-    return base[kind] * scale
+    base = _via_base(kind, CONTACT_C_FF_45, POLY_CONTACT_C_FF_45,
+                     DIRECT_SD_CONTACT_C_FF_45)
+    return base * scale
 
 
-_BOTTOM_LAYERS = ("PB", "MB1")
-_TOP_LAYERS = ("P", "M1")
+def _layer_tier(layer: str, tiers: int) -> int:
+    """Tier index of a cell layer: top is unsuffixed, bottom is ``*B``,
+    middle layers carry their 1-based tier number (PB2 -> tier 1)."""
+    if layer in ("P", "M1"):
+        return tiers - 1
+    if layer in ("PB", "MB1"):
+        return 0
+    if layer.startswith("PB") or layer.startswith("MB"):
+        try:
+            return int(layer[2:]) - 1
+        except ValueError:
+            pass
+    raise ExtractionError(f"unknown cell-internal layer {layer!r}")
 
 
 def extract_cell(geometry: CellGeometry,
@@ -206,31 +226,35 @@ def extract_cell(geometry: CellGeometry,
             f"mode {mode.value!r} requires a folded geometry")
 
     # Inter-tier coupling density: parallel-plate cap between facing wire
-    # area, distributed by each net's share of bottom/top wiring.
+    # area across each tier boundary, distributed by each net's share of
+    # the lower tier's wiring against the upper tier's total density.
     coupling_per_net: Dict[str, float] = {}
     if geometry.is_3d:
+        tiers = getattr(geometry, "tiers", 2)
         cell_area = max(geometry.width_um * geometry.height_um, 1e-9)
         wire_width = WIRE_WIDTH_UM_45 * node.geometry_scale
         ild_um = node.ild_thickness_nm / 1000.0
         # Average inter-tier dielectric constant (ILD + thin Si treated per
         # mode).
         c_plate = node.beol_ild_k * EPS0_FF_PER_UM / ild_um  # fF per um^2
-        bottom_len: Dict[str, float] = {}
-        top_len_total = 0.0
-        top_len: Dict[str, float] = {}
+        tier_net_len: Dict[int, Dict[str, float]] = {}
+        tier_len_total: Dict[int, float] = {}
         for seg in geometry.segments:
-            if seg.layer in _BOTTOM_LAYERS:
-                bottom_len[seg.net] = bottom_len.get(seg.net, 0.0) + seg.length_um
-            elif seg.layer in _TOP_LAYERS:
-                top_len[seg.net] = top_len.get(seg.net, 0.0) + seg.length_um
-                top_len_total += seg.length_um
-        top_density = top_len_total * wire_width / cell_area  # fraction
+            tier = _layer_tier(seg.layer, tiers)
+            per_net = tier_net_len.setdefault(tier, {})
+            per_net[seg.net] = per_net.get(seg.net, 0.0) + seg.length_um
+            tier_len_total[tier] = (tier_len_total.get(tier, 0.0)
+                                    + seg.length_um)
         screen = (1.0 if mode == ExtractionMode.DIELECTRIC
                   else CONDUCTOR_SCREEN_FRACTION)
-        for net, blen in bottom_len.items():
-            facing_area = blen * wire_width * min(top_density, 1.0)
-            coupling_per_net[net] = (c_plate * facing_area * screen
-                                     * INTER_TIER_FRINGE_FACTOR)
+        for tier in range(tiers - 1):
+            upper_density = (tier_len_total.get(tier + 1, 0.0)
+                             * wire_width / cell_area)  # fraction
+            for net, blen in tier_net_len.get(tier, {}).items():
+                facing_area = blen * wire_width * min(upper_density, 1.0)
+                coupling_per_net[net] = (coupling_per_net.get(net, 0.0)
+                                         + c_plate * facing_area * screen
+                                         * INTER_TIER_FRINGE_FACTOR)
 
     nets: Dict[str, NetParasitics] = {}
     for net in geometry.nets():
@@ -248,7 +272,7 @@ def extract_cell(geometry: CellGeometry,
             # Contacts on the same net are (mostly) parallel current paths;
             # model the group as one effective resistance.
             r_ohm += _via_r_ohm(via.kind, node) / max(count, 1.0) \
-                if via.kind in ("CT", "CTB", "DSCT") \
+                if via.kind == "DSCT" or via.kind.startswith("CT") \
                 else _via_r_ohm(via.kind, node) * count
             c_ff += _via_c_ff(via.kind, node) * count
         coupling = coupling_per_net.get(net, 0.0)

@@ -41,6 +41,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.cells.folding import FOLD_DEFAULT, FoldSpec
 from repro.cells.nangate import build_nangate_library
 from repro.check import audit as flow_audit
 from repro.check.findings import AuditReport
@@ -66,6 +67,7 @@ from repro.tech.metal import (
     build_stack_tmi,
     build_stack_tmi_modified,
 )
+from repro.tech.miv import MIV_KOZ_DEFAULT, routing_capacity_scale
 from repro.tech.node import get_node
 from repro.timing.netmodel import PlacedNetModel, RoutedNetModel
 from repro.timing.sta import TimingAnalyzer
@@ -90,16 +92,21 @@ LAYOUT_POLICY = StagePolicy(max_attempts=MAX_ROUTE_RETRIES,
                             retry_on=(RoutingError,),
                             degrade=True)
 
-# Library cache: (node name, is_3d) -> CellLibrary.
-_LIBRARY_CACHE: Dict[Tuple[str, bool], object] = {}
+# Library cache: (node name, is_3d, fold spec) -> CellLibrary.
+_LIBRARY_CACHE: Dict[Tuple[str, bool, FoldSpec], object] = {}
 
 
-def library_for(node_name: str, is_3d: bool):
-    """Build (or fetch) the characterized library for a node + style."""
-    key = (node_name, is_3d)
+def library_for(node_name: str, is_3d: bool,
+                fold: FoldSpec = FOLD_DEFAULT):
+    """Build (or fetch) the characterized library for a node + style.
+
+    ``fold`` selects the T-MI fold scenario; 2D libraries normalize it
+    away so every 2D request shares one cache entry.
+    """
+    key = (node_name, is_3d, fold if is_3d else FOLD_DEFAULT)
     if key not in _LIBRARY_CACHE:
         _LIBRARY_CACHE[key] = build_nangate_library(
-            get_node(node_name), is_3d=is_3d)
+            get_node(node_name), is_3d=is_3d, fold=key[2])
     return _LIBRARY_CACHE[key]
 
 
@@ -121,6 +128,14 @@ class FlowConfig:
     use_tmi_wlm: Optional[bool] = None
     pi_activity: float = 0.2
     seq_activity: float = 0.1
+    # Scenario knobs (ROADMAP item 5): device tier count of the T-MI
+    # fold, the fold style ("pn" or "interleave"), and the MIV keep-out
+    # zone in diameters per side (ISQED'23, arXiv 2304.13808).  The
+    # defaults reproduce the paper's 2-tier scenario byte-for-byte; all
+    # three are ignored by 2D runs.
+    tiers: int = 2
+    fold_style: str = "pn"
+    miv_koz_diameters: float = MIV_KOZ_DEFAULT
     # Router detour growth per unit of overflow (the Section 6
     # congestion model).  A routing-only knob: changing it reuses the
     # synthesis and placement stage checkpoints and recomputes routing
@@ -133,6 +148,11 @@ class FlowConfig:
 
     def style(self) -> str:
         return "3D" if self.is_3d else "2D"
+
+    def fold_spec(self) -> FoldSpec:
+        """The fold scenario of this config (validates the knobs)."""
+        return FoldSpec(tiers=self.tiers, style=self.fold_style,
+                        koz_diameters=self.miv_koz_diameters)
 
 
 @dataclass
@@ -235,7 +255,8 @@ def _run_flow(config: FlowConfig) -> LayoutResult:
 
     def _prepare():
         node = get_node(config.node_name)
-        library = library_for(config.node_name, config.is_3d)
+        library = library_for(config.node_name, config.is_3d,
+                              fold=config.fold_spec())
         if config.pin_cap_scale != 1.0:
             library = library.scale_pin_caps(config.pin_cap_scale)
         stack = _stack_for(config, node)
@@ -244,6 +265,15 @@ def _run_flow(config: FlowConfig) -> LayoutResult:
         return library, interconnect
 
     library, interconnect = supervisor.run_stage("prepare", _prepare)
+
+    # MIV keep-out derate on the LOCAL routing class: exactly 1.0 for 2D
+    # runs and for the default KOZ, so the paper scenario routes on a
+    # byte-identical grid.
+    if config.is_3d:
+        koz_capacity_scale = routing_capacity_scale(
+            library.node, config.miv_koz_diameters, config.tiers)
+    else:
+        koz_capacity_scale = 1.0
 
     # -- synthesis -------------------------------------------------------------
     def _synthesis():
@@ -292,7 +322,8 @@ def _run_flow(config: FlowConfig) -> LayoutResult:
                                    io_positions=floorplan.io_positions)
         optimizer = Optimizer(library, interconnect, floorplan, clock_ns)
         router = GlobalRouter(library, interconnect, floorplan,
-                              detour_coeff=config.router_detour_coeff)
+                              detour_coeff=config.router_detour_coeff,
+                              capacity_scale=koz_capacity_scale)
         return net_model, optimizer, router
 
     def _layout_attempt() -> _LayoutAttempt:
@@ -351,7 +382,8 @@ def _run_flow(config: FlowConfig) -> LayoutResult:
             pre_opt_buffers = pre_opt.n_buffers_added
 
             router = GlobalRouter(library, interconnect, floorplan,
-                                  detour_coeff=config.router_detour_coeff)
+                                  detour_coeff=config.router_detour_coeff,
+                                  capacity_scale=koz_capacity_scale)
             if pkey is not None:
                 memo.save(pkey, {
                     "module": module,

@@ -47,11 +47,13 @@ from repro.runtime.checkpoint import CheckpointStore, config_key
 # + CTS — so a router-only change can reuse it.)
 STAGE_PARAMS: Dict[str, Tuple[str, ...]] = {
     "prepare": ("node_name", "is_3d", "pin_cap_scale", "metal_stack",
-                "local_resistivity_scale", "kernel_backend"),
+                "local_resistivity_scale", "kernel_backend",
+                "tiers", "fold_style", "miv_koz_diameters"),
     "synthesis": ("circuit", "scale", "seed", "target_clock_ns",
                   "tightness", "target_utilization", "use_tmi_wlm"),
     "placement": ("target_utilization",),
-    "layout": ("target_utilization", "router_detour_coeff"),
+    "layout": ("target_utilization", "router_detour_coeff",
+               "tiers", "miv_koz_diameters"),
     "post_route": (),
     "signoff": ("target_clock_ns", "tightness"),
     "power": ("pi_activity", "seq_activity"),

@@ -45,8 +45,13 @@ class Floorplan:
                          for i in module.instances)
         if total_area <= 0.0:
             raise PlacementError("module has no cell area")
-        row_height = library.node.tmi_cell_height_um if library.is_3d \
-            else library.node.cell_height_um
+        # Fold-aware row height when the library carries a fold spec
+        # (N-tier T-MI); synthetic test libraries without one fall back
+        # to the node's 2-tier / 2D heights.
+        row_height = getattr(library, "row_height_um", None)
+        if row_height is None:
+            row_height = library.node.tmi_cell_height_um if library.is_3d \
+                else library.node.cell_height_um
         core_area = total_area / target_utilization
         # Square core, height snapped to a whole number of rows.
         dim = math.sqrt(core_area)

@@ -44,9 +44,15 @@ class RoutingGrid:
 
     @classmethod
     def for_core(cls, width_um: float, height_um: float,
-                 stack: MetalStack) -> "RoutingGrid":
+                 stack: MetalStack,
+                 local_capacity_scale: float = 1.0) -> "RoutingGrid":
+        """Build the grid; ``local_capacity_scale`` derates the LOCAL
+        class only (MIV keep-out zones block local tracks — exactly 1.0
+        leaves capacities byte-identical to the unscaled grid)."""
         if width_um <= 0 or height_um <= 0:
             raise RoutingError("core dimensions must be positive")
+        if local_capacity_scale <= 0.0:
+            raise RoutingError("local capacity scale must be positive")
         n_x = n_y = TILES_PER_EDGE
         tile_w = width_um / n_x
         capacity: Dict[LayerClass, float] = {}
@@ -59,6 +65,9 @@ class RoutingGrid:
             for layer in layers:
                 tracks = tile_w / layer.pitch_um
                 cap += tracks * tile_w * FILL_LIMIT
+            if layer_class is LayerClass.LOCAL \
+                    and local_capacity_scale != 1.0:
+                cap = cap * local_capacity_scale
             capacity[layer_class] = cap
         return cls(width_um=width_um, height_um=height_um,
                    n_x=n_x, n_y=n_y, tile_capacity_um=capacity)

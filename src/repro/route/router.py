@@ -69,7 +69,8 @@ class GlobalRouter:
 
     def __init__(self, library, interconnect: InterconnectModel,
                  floorplan: Floorplan,
-                 detour_coeff: float = DETOUR_COEFF) -> None:
+                 detour_coeff: float = DETOUR_COEFF,
+                 capacity_scale: float = 1.0) -> None:
         self.library = library
         self.interconnect = interconnect
         self.floorplan = floorplan
@@ -77,6 +78,9 @@ class GlobalRouter:
         # (router_detour_coeff) so congestion-sensitivity sweeps can
         # vary routing without invalidating placement checkpoints.
         self.detour_coeff = detour_coeff
+        # LOCAL-class capacity derate from MIV keep-out zones (1.0 = no
+        # derate; 3D flows compute it from the fold's KOZ policy).
+        self.capacity_scale = capacity_scale
 
     # -- helpers -----------------------------------------------------------
 
@@ -147,7 +151,8 @@ class GlobalRouter:
             return run_numpy(self, module, include_clock)
         grid = RoutingGrid.for_core(self.floorplan.width_um,
                                     self.floorplan.height_um,
-                                    self.interconnect.stack)
+                                    self.interconnect.stack,
+                                    self.capacity_scale)
         # Pass 1: topologies and preferred classes.
         net_length: Dict[int, float] = {}
         net_points: Dict[int, List[Tuple[float, float]]] = {}

@@ -46,7 +46,8 @@ def run_numpy(router, module: Module, include_clock: bool):
 
     grid = RoutingGrid.for_core(router.floorplan.width_um,
                                 router.floorplan.height_um,
-                                router.interconnect.stack)
+                                router.interconnect.stack,
+                                router.capacity_scale)
 
     # Pass 1: topologies and lengths.
     net_ids: List[int] = []

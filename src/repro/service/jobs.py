@@ -40,9 +40,10 @@ KIND_EXPERIMENT = "experiment"
 KIND_DSE = "dse"
 KIND_AUDIT = "audit"
 KIND_GOLDENS = "goldens-diff"
+KIND_SCENARIO = "scenario"
 
 JOB_KINDS = (KIND_FLOW, KIND_EXPERIMENT, KIND_DSE, KIND_AUDIT,
-             KIND_GOLDENS)
+             KIND_GOLDENS, KIND_SCENARIO)
 
 # -- job states ------------------------------------------------------------
 
@@ -62,8 +63,16 @@ LIVE_STATES = (STATE_QUEUED, STATE_RUNNING)
 #: terminal states of one run (the job itself can be re-enqueued).
 FINISHED_STATES = (STATE_DEGRADED, STATE_FAILED, STATE_DONE)
 
-CIRCUITS = ("fpu", "aes", "ldpc", "des", "m256")
-NODES = ("45nm", "7nm")
+def _known_circuits() -> Tuple[str, ...]:
+    from repro.circuits.generators import BENCHMARKS
+
+    return tuple(sorted(BENCHMARKS))
+
+
+def _known_nodes() -> Tuple[str, ...]:
+    from repro.tech.node import node_names
+
+    return tuple(node_names())
 
 
 # -- parameter normalization ----------------------------------------------
@@ -80,9 +89,10 @@ def _normalize_flow(params: Dict[str, object]) -> Dict[str, object]:
     from repro.errors import DseError
     from repro.flow.design_flow import FlowConfig
 
+    circuits = _known_circuits()
     circuit = params.get("circuit")
-    if circuit not in CIRCUITS:
-        raise ServiceError(f"flow job needs a circuit from {CIRCUITS}; "
+    if circuit not in circuits:
+        raise ServiceError(f"flow job needs a circuit from {circuits}; "
                            f"got {circuit!r}")
     try:
         coerced = {name: coerce_field_value(name, value)
@@ -90,9 +100,9 @@ def _normalize_flow(params: Dict[str, object]) -> Dict[str, object]:
         config = FlowConfig(**coerced)
     except (DseError, TypeError) as exc:
         raise ServiceError(f"bad flow parameters: {exc}") from None
-    if config.node_name not in NODES:
+    if config.node_name not in _known_nodes():
         raise ServiceError(f"unknown node {config.node_name!r}; "
-                           f"known: {NODES}")
+                           f"known: {_known_nodes()}")
     return asdict(config)
 
 
@@ -140,14 +150,16 @@ def _normalize_dse(params: Dict[str, object]) -> Dict[str, object]:
 
 
 def _normalize_audit(params: Dict[str, object]) -> Dict[str, object]:
+    known = _known_circuits()
     circuits = params.get("circuits") or [params.get("circuit")]
     circuits = [str(c).lower() for c in circuits if c]
-    if not circuits or any(c not in CIRCUITS for c in circuits):
-        raise ServiceError(f"audit job needs circuits from {CIRCUITS}; "
+    if not circuits or any(c not in known for c in circuits):
+        raise ServiceError(f"audit job needs circuits from {known}; "
                            f"got {circuits!r}")
     node = str(params.get("node", "45nm"))
-    if node not in NODES:
-        raise ServiceError(f"unknown node {node!r}; known: {NODES}")
+    if node not in _known_nodes():
+        raise ServiceError(f"unknown node {node!r}; "
+                           f"known: {_known_nodes()}")
     return {
         "circuits": circuits,
         "node": node,
@@ -169,12 +181,35 @@ def _normalize_goldens(params: Dict[str, object]) -> Dict[str, object]:
     return {"ids": ids}
 
 
+def _normalize_scenario(params: Dict[str, object]) -> Dict[str, object]:
+    """Resolve a named-scenario submission to canonical flow params.
+
+    ``{"kind": "scenario", "params": {"name": "quad-tier"}}`` lowers to
+    the same full ``FlowConfig`` dict a spelled-out flow job would
+    produce, so the two coalesce onto one job key (the submission is
+    re-kinded to ``flow`` in :func:`normalize`).
+    """
+    from repro.errors import ReproError
+    from repro.flow.scenario import get_scenario
+
+    name = str(params.get("name", ""))
+    try:
+        spec = get_scenario(name)
+        overrides = dict(params.get("overrides") or {})
+        config = spec.to_flow_config(
+            is_3d=bool(params.get("is_3d", True)), **overrides)
+    except (ReproError, TypeError) as exc:
+        raise ServiceError(f"bad scenario job: {exc}") from None
+    return _normalize_flow(asdict(config))
+
+
 _NORMALIZERS = {
     KIND_FLOW: _normalize_flow,
     KIND_EXPERIMENT: _normalize_experiment,
     KIND_DSE: _normalize_dse,
     KIND_AUDIT: _normalize_audit,
     KIND_GOLDENS: _normalize_goldens,
+    KIND_SCENARIO: _normalize_scenario,
 }
 
 
@@ -193,7 +228,12 @@ def normalize(kind: str, params: Optional[Dict[str, object]]
                            f"known: {', '.join(JOB_KINDS)}")
     if params is not None and not isinstance(params, dict):
         raise ServiceError("'params' must be a JSON object")
-    return kind, normalizer(dict(params or {}))
+    normalized = normalizer(dict(params or {}))
+    if kind == KIND_SCENARIO:
+        # A scenario is sugar for a fully-resolved flow job: re-kind it
+        # so equivalent flow and scenario submissions share one key.
+        kind = KIND_FLOW
+    return kind, normalized
 
 
 def job_key(kind: str, params: Dict[str, object]) -> str:

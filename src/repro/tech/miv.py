@@ -24,6 +24,55 @@ MIV_FILL_RESISTIVITY_UOHM_CM = 12.0
 # Effective liner k for the sidewall capacitance of the via barrel.
 MIV_LINER_K = 3.9
 
+# Default keep-out zone around an MIV, in diameters per side.  0.5 diameter
+# of enclosure on each side reproduces the landing-pad footprint the paper
+# assumes (side = 2 x diameter); the ISQED'23 KOZ study (arXiv 2304.13808)
+# sweeps this as a first-order knob.
+MIV_KOZ_DEFAULT = 0.5
+
+# Routing-capacity derate per unit of KOZ footprint excess per extra tier
+# boundary: oversized keep-outs block local-layer tracks above each MIV.
+KOZ_CAPACITY_COEFF = 0.08
+# Never derate the local routing capacity below this floor.
+KOZ_CAPACITY_FLOOR = 0.5
+
+
+def koz_side_um(node: TechNode,
+                koz_diameters: float = MIV_KOZ_DEFAULT) -> float:
+    """Side of the square keep-out zone around one MIV, um.
+
+    The via itself is one diameter wide; the keep-out adds
+    ``koz_diameters`` of clearance on each side.
+    """
+    if koz_diameters < 0.0:
+        raise TechnologyError("MIV keep-out must be non-negative")
+    return (1.0 + 2.0 * koz_diameters) * node.miv_diameter_nm / 1000.0
+
+
+def koz_footprint_um2(node: TechNode,
+                      koz_diameters: float = MIV_KOZ_DEFAULT) -> float:
+    """Tier area blocked by one MIV including its keep-out zone, um^2."""
+    side_um = koz_side_um(node, koz_diameters)
+    return side_um * side_um
+
+
+def routing_capacity_scale(node: TechNode,
+                           koz_diameters: float = MIV_KOZ_DEFAULT,
+                           tiers: int = 2) -> float:
+    """Local-layer routing capacity multiplier under a KOZ policy.
+
+    Exactly 1.0 at the paper's default keep-out (no derate), shrinking
+    linearly in the KOZ footprint excess and the number of tier
+    boundaries, floored at :data:`KOZ_CAPACITY_FLOOR`.  2D flows never
+    call this — they carry no MIVs.
+    """
+    baseline = koz_footprint_um2(node, MIV_KOZ_DEFAULT)
+    excess = koz_footprint_um2(node, koz_diameters) / baseline - 1.0
+    if excess <= 0.0:
+        return 1.0
+    derate = KOZ_CAPACITY_COEFF * excess * float(max(tiers - 1, 1))
+    return max(KOZ_CAPACITY_FLOOR, 1.0 - derate)
+
 
 @dataclass(frozen=True)
 class MIVModel:

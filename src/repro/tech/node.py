@@ -119,13 +119,42 @@ NODE_7NM = TechNode(
     contact_resistance_ohm=35.0,
 )
 
-_NODES = {node.name: node for node in (NODE_45NM, NODE_7NM)}
+# ASAP7-style predictive FinFET node, built from the published rad_gen
+# process_infos stack: 36 nm M1-M3 pitch (18 nm drawn width), 20 nm gate
+# length, 54 nm contacted poly pitch, 7.5-track cell height.  Unlike the
+# paper's ITRS-projected 7 nm, ASAP7 keeps a thicker, less resistive local
+# stack (131.2 ohm/um on M1 at 18 x 38.1 nm Cu cross-section works out to
+# ~9 uohm-cm effective) and a mild k=3.6 oxide-like BEOL dielectric.
+NODE_ASAP7 = TechNode(
+    name="asap7",
+    vdd=0.7,
+    device_type="multi-gate",
+    drawn_length_nm=20.0,
+    fixed_transistor_width=True,
+    beol_ild_k=3.6,
+    m2_width_nm=18.0,
+    miv_diameter_nm=18.0,
+    ild_thickness_nm=55.0,
+    cell_height_um=0.27,
+    top_tier_si_thickness_nm=10.0,
+    local_resistivity_uohm_cm=9.0,
+    global_resistivity_uohm_cm=2.80,
+    poly_sheet_ohm_sq=20.0,
+    contact_resistance_ohm=22.0,
+)
+
+_NODES = {node.name: node for node in (NODE_45NM, NODE_7NM, NODE_ASAP7)}
 
 
 def get_node(name: str) -> TechNode:
-    """Look up a technology node by name ("45nm" or "7nm")."""
+    """Look up a technology node by name ("45nm", "7nm", "asap7")."""
     try:
         return _NODES[name]
     except KeyError:
         known = ", ".join(sorted(_NODES))
         raise TechnologyError(f"unknown technology node {name!r} (known: {known})")
+
+
+def node_names() -> list:
+    """Registered node names, in registration order (paper nodes first)."""
+    return list(_NODES)

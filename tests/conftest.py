@@ -19,6 +19,15 @@ def lib45_3d():
 
 
 @pytest.fixture(scope="session")
+def lib45_quad():
+    """4-tier interleaved fold of the 45 nm library (scenario space)."""
+    from repro.cells.folding import FoldSpec
+
+    return library_for("45nm", True,
+                       fold=FoldSpec(tiers=4, style="interleave"))
+
+
+@pytest.fixture(scope="session")
 def lib7_2d():
     return library_for("7nm", False)
 

@@ -48,13 +48,20 @@ def test_scale_changes_size():
 
 
 @pytest.mark.slow
-@pytest.mark.parametrize("name", sorted(set(BENCHMARKS) - {"m256"}))
+@pytest.mark.parametrize(
+    "name", sorted(set(PAPER_CELL_COUNTS_45NM) - {"m256"}))
 def test_full_scale_counts_near_paper(name):
-    if name == "m256":
-        pytest.skip("m256 full scale is exercised by the benches")
     m = generate_benchmark(name, scale=1.0)
     paper = PAPER_CELL_COUNTS_45NM[name]
     assert m.n_cells == pytest.approx(paper, rel=0.45)
+
+
+@pytest.mark.slow
+def test_noc_full_scale_dwarfs_paper_benchmarks():
+    # The mesh NoC is the scale workload: at scale 1.0 it should be
+    # an order of magnitude beyond the scaled paper netlists.
+    m = generate_benchmark("noc", scale=1.0)
+    assert m.n_cells > 30_000
 
 
 def test_invalid_inputs():

@@ -292,6 +292,134 @@ def test_grid_demand_booking_is_monotone():
         prev = now.copy()
 
 
+# -- scenario-space workloads ------------------------------------------------
+#
+# The kernels must stay backend-equivalent off the paper's operating
+# point too: the mesh-NoC workload (regular medium-range channels
+# instead of random-logic clusters) and a 4-tier interleaved fold with
+# a derated routing capacity exercise branch patterns the AES runs
+# never hit.
+
+
+@pytest.fixture(scope="module")
+def noc_placed(lib45_2d):
+    module = generate_benchmark("noc", scale=0.05, seed=5)
+    floorplan = Floorplan.for_module(module, lib45_2d, 0.75)
+    with use_backend("numpy"):
+        x, y = place_global(module, lib45_2d, floorplan)
+    for inst, xi, yi in zip(module.instances, x, y):
+        inst.x_um = float(xi)
+        inst.y_um = float(yi)
+    return module, floorplan
+
+
+def test_noc_place_global_bit_identical(noc_placed, lib45_2d):
+    module, floorplan = noc_placed
+    with use_backend("python"):
+        xp, yp = place_global(module, lib45_2d, floorplan)
+    with use_backend("numpy"):
+        xn, yn = place_global(module, lib45_2d, floorplan)
+    assert np.array_equal(xp, xn)
+    assert np.array_equal(yp, yn)
+
+
+def test_noc_sta_run_bit_identical(noc_placed, lib45_2d):
+    module, floorplan = noc_placed
+    interconnect = _interconnect()
+
+    def run(backend):
+        with use_backend(backend):
+            model = PlacedNetModel(module, interconnect,
+                                   io_positions=floorplan.io_positions)
+            return TimingAnalyzer(module, lib45_2d, model,
+                                  clock_ns=2.0).run()
+
+    rp = run("python")
+    rn = run("numpy")
+    assert rp.arrival_ps == rn.arrival_ps
+    assert rp.slew_ps == rn.slew_ps
+    assert rp.endpoint_slack_ps == rn.endpoint_slack_ps
+    assert rp.wns_ps == rn.wns_ps
+    assert rp.critical_endpoint == rn.critical_endpoint
+
+
+def test_noc_router_run_bit_identical(noc_placed, lib45_2d):
+    module, floorplan = noc_placed
+    interconnect = _interconnect(is_3d=True)
+
+    def run(backend):
+        with use_backend(backend):
+            router = GlobalRouter(lib45_2d, interconnect, floorplan)
+            return router.run(module)
+
+    rp = run("python")
+    rn = run("numpy")
+    assert rp.lengths_um == rn.lengths_um
+    assert rp.layer_class == rn.layer_class
+    assert rp.total_wirelength_um == rn.total_wirelength_um
+    assert rp.wirelength_by_class == rn.wirelength_by_class
+    for cls, demand in rp.grid.demand.items():
+        assert np.array_equal(demand, rn.grid.demand[cls])
+
+
+@pytest.fixture(scope="module")
+def quad_placed(lib45_quad):
+    module = generate_benchmark("aes", scale=0.05, seed=7)
+    floorplan = Floorplan.for_module(module, lib45_quad, 0.75)
+    with use_backend("numpy"):
+        x, y = place_global(module, lib45_quad, floorplan)
+    for inst, xi, yi in zip(module.instances, x, y):
+        inst.x_um = float(xi)
+        inst.y_um = float(yi)
+    return module, floorplan
+
+
+def test_quad_tier_router_with_koz_derate_bit_identical(quad_placed,
+                                                        lib45_quad):
+    # The KOZ capacity derate is the new router input: run it off the
+    # exact-no-op value so the scaled-capacity branch is the one tested.
+    from repro.tech.miv import routing_capacity_scale
+
+    module, floorplan = quad_placed
+    interconnect = _interconnect(is_3d=True)
+    scale = routing_capacity_scale(get_node("45nm"), 1.0, 4)
+    assert scale < 1.0
+
+    def run(backend):
+        with use_backend(backend):
+            router = GlobalRouter(lib45_quad, interconnect, floorplan,
+                                  capacity_scale=scale)
+            return router.run(module)
+
+    rp = run("python")
+    rn = run("numpy")
+    assert rp.lengths_um == rn.lengths_um
+    assert rp.layer_class == rn.layer_class
+    assert rp.total_wirelength_um == rn.total_wirelength_um
+    assert rp.detour_factor == rn.detour_factor
+    for cls, demand in rp.grid.demand.items():
+        assert np.array_equal(demand, rn.grid.demand[cls])
+
+
+def test_quad_tier_sta_run_bit_identical(quad_placed, lib45_quad):
+    module, floorplan = quad_placed
+    interconnect = _interconnect(is_3d=True)
+
+    def run(backend):
+        with use_backend(backend):
+            model = PlacedNetModel(module, interconnect,
+                                   io_positions=floorplan.io_positions)
+            return TimingAnalyzer(module, lib45_quad, model,
+                                  clock_ns=2.0).run()
+
+    rp = run("python")
+    rn = run("numpy")
+    assert rp.arrival_ps == rn.arrival_ps
+    assert rp.slew_ps == rn.slew_ps
+    assert rp.wns_ps == rn.wns_ps
+    assert rp.tns_ps == rn.tns_ps
+
+
 # -- characterization kernels ------------------------------------------------
 
 

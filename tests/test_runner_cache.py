@@ -13,7 +13,8 @@ from repro.flow.design_flow import FlowConfig
 
 
 def test_default_scales_cover_all_benchmarks():
-    assert set(DEFAULT_SCALES) == {"fpu", "aes", "ldpc", "des", "m256"}
+    assert set(DEFAULT_SCALES) == {"fpu", "aes", "ldpc", "des", "m256",
+                                   "noc"}
     assert default_scale("unknown") == 0.1
     assert default_scale("LDPC") == DEFAULT_SCALES["ldpc"]
 
